@@ -1,0 +1,86 @@
+// tesla-analyse is the TESLA analyser (§4.1): it parses csub source files,
+// extracts the TESLA assertions in them and writes .tesla manifest files —
+// one per source plus a combined program manifest.
+//
+// Usage:
+//
+//	tesla-analyse [-o combined.tesla] [-print] file.c...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/analyse"
+)
+
+func main() {
+	out := flag.String("o", "", "path for the combined program manifest (default: program.tesla)")
+	print := flag.Bool("print", false, "print manifests to stdout instead of writing files")
+	lint := flag.Bool("lint", false, "also report assertions whose events can never occur")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tesla-analyse [-o combined.tesla] [-print] file.c...")
+		os.Exit(2)
+	}
+
+	sources := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources[path] = string(data)
+	}
+
+	perFile, combined, err := analyse.Sources(sources)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *lint {
+		warnings, err := analyse.LintSources(sources)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+	}
+
+	if *print {
+		for name, m := range perFile {
+			fmt.Printf("; %s (%d assertions)\n", name, len(m.Assertions))
+			if err := m.Encode(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("; combined (%d assertions)\n", len(combined.Assertions))
+		if err := combined.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	for name, m := range perFile {
+		path := name + ".tesla"
+		if err := m.Save(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d assertions)\n", path, len(m.Assertions))
+	}
+	target := *out
+	if target == "" {
+		target = "program.tesla"
+	}
+	if err := combined.Save(target); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d assertions)\n", target, len(combined.Assertions))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tesla-analyse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// tesla-graph renders TESLA automata as Graphviz digraphs. With -fig9 it
+// drives the kernel's socket-poll workload first and weights the
+// transitions according to their occurrence at run time, reproducing
+// figure 9's combined static/dynamic view.
+//
+// Usage:
+//
+//	tesla-graph -assert 'TESLA_WITHIN(f, previously(g(x) == 0))'
+//	tesla-graph -manifest program.tesla [-name file.c:12]
+//	tesla-graph -fig9 [-syscalls 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/automata"
+	"tesla/internal/bench"
+	"tesla/internal/manifest"
+	"tesla/internal/spec"
+)
+
+func main() {
+	assert := flag.String("assert", "", "TESLA assertion macro text to compile")
+	manifestPath := flag.String("manifest", "", "render automata from this manifest")
+	name := flag.String("name", "", "only the named assertion from the manifest")
+	fig9 := flag.Bool("fig9", false, "reproduce figure 9: run the kernel poll workload and weight the MAC automaton")
+	syscalls := flag.Int("syscalls", 1000, "workload size for -fig9")
+	flag.Parse()
+
+	switch {
+	case *fig9:
+		if err := bench.Fig9(os.Stdout, *syscalls); err != nil {
+			fatal(err)
+		}
+	case *assert != "":
+		a, err := spec.Parse("cmdline", *assert, nil)
+		if err != nil {
+			fatal(err)
+		}
+		auto, err := automata.Compile(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(auto.Dot(nil))
+	case *manifestPath != "":
+		m, err := manifest.Load(*manifestPath)
+		if err != nil {
+			fatal(err)
+		}
+		autos, err := m.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		for _, auto := range autos {
+			if *name != "" && auto.Name != *name {
+				continue
+			}
+			fmt.Print(auto.Dot(nil))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tesla-graph -assert '...' | -manifest m.tesla [-name N] | -fig9")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tesla-graph:", err)
+	os.Exit(1)
+}

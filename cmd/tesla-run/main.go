@@ -1,0 +1,94 @@
+// tesla-run compiles, instruments and executes a csub program under TESLA:
+// the full §4 workflow in one command. Violations are reported as they are
+// detected; with -failstop (TESLA's default behaviour in the paper) the
+// first violation aborts execution.
+//
+// Usage:
+//
+//	tesla-run [-plain] [-failstop] [-debug] [-entry main] [-arg N]... file.c...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/toolchain"
+)
+
+func main() {
+	plain := flag.Bool("plain", false, "run without instrumentation (Default build)")
+	failstop := flag.Bool("failstop", false, "abort on the first violation")
+	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
+	entry := flag.String("entry", "main", "entry function")
+	var args intList
+	flag.Var(&args, "arg", "integer argument to the entry function (repeatable)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tesla-run [-plain] [-failstop] [-debug] [-arg N]... file.c...")
+		os.Exit(2)
+	}
+
+	sources := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources[path] = string(data)
+	}
+
+	build, err := toolchain.BuildProgram(sources, !*plain)
+	if err != nil {
+		fatal(err)
+	}
+
+	counting := core.NewCountingHandler()
+	handler := core.MultiHandler{counting}
+	if *debug {
+		handler = append(handler, &core.PrintHandler{W: os.Stderr})
+	}
+	rt, err := build.NewRuntime(monitor.Options{Handler: handler, FailFast: *failstop})
+	if err != nil {
+		fatal(err)
+	}
+	rt.VM.Out = os.Stdout
+
+	ret, err := rt.VM.Run(*entry, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tesla-run: execution aborted: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s returned %d\n", *entry, ret)
+
+	if vs := counting.Violations(); len(vs) > 0 {
+		fmt.Printf("%d TESLA violation(s):\n", len(vs))
+		for _, v := range vs {
+			fmt.Printf("  %v\n", v)
+		}
+		os.Exit(1)
+	}
+	if !*plain {
+		fmt.Printf("all %d assertions held\n", len(build.Autos))
+	}
+}
+
+type intList []int64
+
+func (l *intList) String() string { return fmt.Sprint([]int64(*l)) }
+
+func (l *intList) Set(s string) error {
+	var v int64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tesla-run:", err)
+	os.Exit(1)
+}

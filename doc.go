@@ -1,0 +1,19 @@
+// Package tesla is a from-scratch Go reproduction of TESLA — Temporally
+// Enhanced System Logic Assertions (Anderson et al., EuroSys 2014).
+//
+// TESLA lets systems programmers write temporal assertions — properties
+// about events in the past or future, such as "an access-control check
+// happened earlier in this system call" — directly against low-level code.
+// An analyser parses the assertions into finite-state automata, an
+// instrumenter turns program events into automaton transitions, and the
+// libtesla runtime manages per-binding automaton instances.
+//
+// The packages under internal/ implement the complete system and every
+// substrate its evaluation needs: the assertion language and automata
+// compiler, libtesla, a C-subset compiler/IR/VM pipeline standing in for
+// Clang/LLVM, a FreeBSD-like kernel with a MAC framework, a miniature
+// OpenSSL, an Objective-C runtime and a GNUstep-like GUI. See README.md,
+// DESIGN.md and EXPERIMENTS.md, the runnable examples under examples/, and
+// the benchmarks in bench_test.go which regenerate the paper's tables and
+// figures.
+package tesla

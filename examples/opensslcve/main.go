@@ -1,0 +1,62 @@
+// opensslcve replays the §3.5.1 case study end to end: a malicious
+// s_server forges an ASN.1 tag inside a DSA key-exchange signature; the
+// vulnerable libssl client conflates EVP_VerifyFinal's -1 exceptional
+// failure with success (CVE-2008-5077); and a single TESLA assertion in the
+// libfetch client — figure 6 — catches the forged handshake without
+// touching OpenSSL's code.
+//
+//	go run ./examples/opensslcve
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/ssl"
+)
+
+func main() {
+	fmt.Println("assertion (figure 6):", ssl.FetchAssertion())
+	fmt.Println()
+
+	scenario := func(title string, malicious, fixedClient bool) {
+		auto, err := ssl.FetchAutomaton()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		handler := core.NewCountingHandler()
+		mon := monitor.MustNew(monitor.Options{Handler: handler}, auto)
+		env := ssl.NewEnv(mon.NewThread())
+
+		server := ssl.NewServer(1234)
+		server.Malicious = malicious
+		client := &ssl.Client{Env: env, FixedCheck: fixedClient}
+
+		doc, err := ssl.FetchMain(env, client, server, "/index.html")
+		fmt.Printf("%s\n", title)
+		if err != nil {
+			fmt.Printf("  handshake rejected: %v\n", err)
+		} else {
+			fmt.Printf("  fetched %d bytes\n", len(doc))
+		}
+		if vs := handler.Violations(); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Printf("  TESLA: %v\n", v)
+			}
+		} else if err == nil {
+			fmt.Println("  TESLA: certificate verification confirmed")
+		}
+		fmt.Println()
+	}
+
+	scenario("honest server, vulnerable client:", false, false)
+	scenario("malicious server, vulnerable client (the CVE):", true, false)
+	scenario("malicious server, patched client:", true, true)
+
+	fmt.Println("The vulnerable client happily fetched from the malicious server —")
+	fmt.Println("but TESLA saw that EVP_VerifyFinal never returned success within")
+	fmt.Println("main's execution, across the libssl/libcrypto boundary.")
+}

@@ -1,0 +1,45 @@
+// Package analyse is the TESLA analyser (§4.1): it performs a recursive
+// descent over csub ASTs (via the shared front-end, as the paper's analyser
+// reuses Clang), parses the TESLA assertions it finds — benefiting from the
+// same scoping and type information as a normal compilation pass — and
+// emits per-file .tesla manifests that the instrumenter consumes.
+package analyse
+
+import (
+	"tesla/internal/compiler"
+	"tesla/internal/csub"
+	"tesla/internal/manifest"
+)
+
+// Sources analyses a set of source files (name → text) and returns one
+// manifest per file plus the combined program manifest.
+func Sources(sources map[string]string) (map[string]*manifest.File, *manifest.File, error) {
+	var files []*csub.File
+	for name, src := range sources {
+		f, err := csub.Parse(name, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	ctx, err := compiler.NewContext(files...)
+	if err != nil {
+		return nil, nil, err
+	}
+	perFile := make(map[string]*manifest.File, len(files))
+	var all []*manifest.File
+	for _, f := range files {
+		u, err := compiler.CompileFile(f, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := manifest.FromAssertions(f.Name, u.Assertions)
+		perFile[f.Name] = m
+		all = append(all, m)
+	}
+	combined, err := manifest.Combine(all...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return perFile, combined, nil
+}

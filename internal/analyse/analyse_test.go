@@ -1,0 +1,108 @@
+package analyse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSources(t *testing.T) {
+	perFile, combined, err := Sources(map[string]string{
+		"a.c": `
+int f(int x) {
+	TESLA_SYSCALL_PREVIOUSLY(check(x) == 0);
+	return x;
+}
+`,
+		"b.c": `
+int g(int y) {
+	TESLA_WITHIN(main, eventually(audit(y) == 0));
+	TESLA_WITHIN(main, previously(check(y) == 0));
+	return y;
+}
+`,
+		"c.c": `int plain(int z) { return z; }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perFile["a.c"].Assertions) != 1 || len(perFile["b.c"].Assertions) != 2 || len(perFile["c.c"].Assertions) != 0 {
+		t.Fatalf("per-file counts wrong: %+v", perFile)
+	}
+	if len(combined.Assertions) != 3 {
+		t.Fatalf("combined = %d", len(combined.Assertions))
+	}
+	// Names carry file:line positions.
+	if !strings.HasPrefix(perFile["a.c"].Assertions[0].Name, "a.c:") {
+		t.Fatalf("name = %q", perFile["a.c"].Assertions[0].Name)
+	}
+	// The combined manifest compiles.
+	if _, err := combined.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourcesErrors(t *testing.T) {
+	if _, _, err := Sources(map[string]string{"bad.c": "int f( {"}); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+	if _, _, err := Sources(map[string]string{"bad.c": `
+int f(int x) {
+	TESLA_WITHIN(main, previously(check(undeclared_var) == 0));
+	return x;
+}
+`}); err == nil {
+		t.Fatal("out-of-scope assertion variable must fail analysis")
+	}
+}
+
+func TestLint(t *testing.T) {
+	warnings, err := LintSources(map[string]string{"a.c": `
+int check(int x) { return 0; }
+int amd64_syscall(int x) {
+	int c = check(x);
+	TESLA_SYSCALL_PREVIOUSLY(check(x) == 0);
+	TESLA_SYSCALL_PREVIOUSLY(chekc(x) == 0);
+	TESLA_WITHIN(no_such_bound, previously(check(x) == 0));
+	TESLA_SYSCALL(incallstack(never_defined) || previously(check(x) == 0));
+	return c;
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, w := range warnings {
+		msgs = append(msgs, w.String())
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{`"chekc"`, `"no_such_bound"`, `"never_defined"`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lint missing %s in:\n%s", want, joined)
+		}
+	}
+	// The healthy assertion produces no warning.
+	if strings.Contains(joined, `"check"`) {
+		t.Errorf("false positive on defined function:\n%s", joined)
+	}
+	if len(warnings) != 3 {
+		t.Errorf("warnings = %d:\n%s", len(warnings), joined)
+	}
+}
+
+func TestLintExternalCallIsKnown(t *testing.T) {
+	// A function that is only *called* (defined in a library outside the
+	// program) still counts: caller-side instrumentation can observe it.
+	warnings, err := LintSources(map[string]string{"a.c": `
+int amd64_syscall(int x) {
+	int c = ext_check(x);
+	TESLA_SYSCALL_PREVIOUSLY(ext_check(x) == 0);
+	return c;
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}

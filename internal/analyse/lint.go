@@ -1,0 +1,155 @@
+package analyse
+
+import (
+	"fmt"
+	"sort"
+
+	"tesla/internal/csub"
+	"tesla/internal/spec"
+)
+
+// Lint is the static half the paper proposes as future work (§7: "a further
+// advantage would be compile-time reporting of potential failures"): without
+// running anything, it reports assertions whose events cannot occur in the
+// program — a bound or event function that is neither defined nor called
+// anywhere means the automaton can never initialise (the assertion is dead),
+// or, for an `eventually` obligation, that every run reaching the site is
+// already guaranteed to fail.
+
+// Warning is one static finding.
+type Warning struct {
+	Assertion string
+	Message   string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s: %s", w.Assertion, w.Message)
+}
+
+// Lint analyses parsed sources and their assertions.
+func Lint(files []*csub.File, assertions []*spec.Assertion) []Warning {
+	known := map[string]bool{}
+	for _, f := range files {
+		for _, fn := range f.Funcs {
+			known[fn.Name] = true
+			for _, st := range fn.Body {
+				collectCalls(st, known)
+			}
+		}
+	}
+
+	var out []Warning
+	warn := func(a *spec.Assertion, format string, args ...interface{}) {
+		out = append(out, Warning{Assertion: a.Name, Message: fmt.Sprintf(format, args...)})
+	}
+
+	for _, a := range assertions {
+		seen := map[string]bool{}
+		for _, fn := range []string{a.Bound.Begin.Fn, a.Bound.End.Fn} {
+			if !known[fn] && !seen[fn] {
+				seen[fn] = true
+				warn(a, "bound function %q is never defined or called: the automaton can never initialise", fn)
+			}
+		}
+		spec.Walk(a.Expr, func(e spec.Expr) {
+			switch ev := e.(type) {
+			case *spec.FunctionEvent:
+				if ev.ObjC || known[ev.Fn] || seen[ev.Fn] {
+					return
+				}
+				seen[ev.Fn] = true
+				warn(a, "event function %q is never defined or called: the event cannot occur", ev.Fn)
+			case *spec.InCallStack:
+				if !known[ev.Fn] && !seen[ev.Fn] {
+					seen[ev.Fn] = true
+					warn(a, "incallstack function %q is never defined or called", ev.Fn)
+				}
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Assertion != out[j].Assertion {
+			return out[i].Assertion < out[j].Assertion
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// collectCalls records every statically-named callee in a statement tree.
+func collectCalls(s csub.Stmt, into map[string]bool) {
+	var expr func(e csub.Expr)
+	expr = func(e csub.Expr) {
+		switch x := e.(type) {
+		case *csub.CallExpr:
+			if id, ok := x.Fn.(*csub.Ident); ok {
+				into[id.Name] = true
+			} else {
+				expr(x.Fn)
+			}
+			for _, a := range x.Args {
+				expr(a)
+			}
+		case *csub.BinExpr:
+			expr(x.X)
+			expr(x.Y)
+		case *csub.UnaryExpr:
+			expr(x.X)
+		case *csub.FieldExpr:
+			expr(x.X)
+		case *csub.AddrExpr:
+			expr(x.X)
+		}
+	}
+	switch st := s.(type) {
+	case *csub.DeclStmt:
+		if st.Decl.Init != nil {
+			expr(st.Decl.Init)
+		}
+	case *csub.AssignStmt:
+		expr(st.LHS)
+		if st.RHS != nil {
+			expr(st.RHS)
+		}
+	case *csub.IfStmt:
+		expr(st.Cond)
+		for _, sub := range st.Then {
+			collectCalls(sub, into)
+		}
+		for _, sub := range st.Else {
+			collectCalls(sub, into)
+		}
+	case *csub.WhileStmt:
+		expr(st.Cond)
+		for _, sub := range st.Body {
+			collectCalls(sub, into)
+		}
+	case *csub.ReturnStmt:
+		if st.Val != nil {
+			expr(st.Val)
+		}
+	case *csub.ExprStmt:
+		expr(st.X)
+	}
+}
+
+// LintSources parses and lints in one step.
+func LintSources(sources map[string]string) ([]Warning, error) {
+	var files []*csub.File
+	for name, src := range sources {
+		f, err := csub.Parse(name, src)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	_, combined, err := Sources(sources)
+	if err != nil {
+		return nil, err
+	}
+	assertions, err := combined.Parse()
+	if err != nil {
+		return nil, err
+	}
+	return Lint(files, assertions), nil
+}

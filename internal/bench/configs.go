@@ -1,0 +1,109 @@
+// Package bench is the harness that regenerates the paper's evaluation:
+// every table and figure of §5 has a runner here, shared by cmd/tesla-bench
+// and the root-level testing.B benchmarks. Absolute numbers differ from the
+// paper's FreeBSD/LLVM testbed — the substrate here is a simulator — but
+// the shapes (who wins, by roughly what factor, where the crossovers fall)
+// are the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tesla/internal/core"
+	"tesla/internal/kernel"
+	"tesla/internal/monitor"
+)
+
+// KernelConfig is one measured kernel configuration of §5.2.2.
+type KernelConfig struct {
+	Name string
+	Mode kernel.Mode
+	Sets kernel.Set
+	// Naive disables the lazy-init optimisation (pre-optimisation state
+	// for figure 13).
+	Naive bool
+}
+
+// KernelConfigs are the configurations of figure 11, in display order:
+// a release kernel, a standard-debug kernel (WITNESS + INVARIANTS), the
+// TESLA instrumentation framework with test assertions only, then
+// cumulative assertion sets, and everything plus debugging.
+func KernelConfigs() []KernelConfig {
+	return []KernelConfig{
+		{Name: "Release", Mode: kernel.Release, Sets: 0},
+		{Name: "Debug", Mode: kernel.Debug, Sets: 0},
+		{Name: "Infrastructure", Mode: kernel.Release, Sets: kernel.SetInfra},
+		{Name: "MP", Mode: kernel.Release, Sets: kernel.SetMP},
+		{Name: "MP+MS", Mode: kernel.Release, Sets: kernel.SetMP | kernel.SetMS},
+		{Name: "MF", Mode: kernel.Release, Sets: kernel.SetMF},
+		{Name: "MF+MS", Mode: kernel.Release, Sets: kernel.SetMF | kernel.SetMS},
+		{Name: "M", Mode: kernel.Release, Sets: kernel.SetM},
+		{Name: "All", Mode: kernel.Release, Sets: kernel.SetAll},
+		{Name: "All (Debug)", Mode: kernel.Debug, Sets: kernel.SetAll},
+	}
+}
+
+// ConfigByName finds a configuration.
+func ConfigByName(name string) (KernelConfig, bool) {
+	for _, c := range KernelConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return KernelConfig{}, false
+}
+
+// BootConfig boots a kernel for a configuration.
+func BootConfig(c KernelConfig, bugs kernel.BugConfig) (*kernel.Kernel, error) {
+	k, _, err := kernel.Boot(c.Mode, c.Sets, bugs, monitor.Options{
+		Handler: core.NopHandler{},
+		Naive:   c.Naive,
+	})
+	return k, err
+}
+
+// Row is one measurement.
+type Row struct {
+	Label string
+	Value float64
+	Unit  string
+}
+
+// Table prints rows with an optional normalisation baseline.
+func Table(w io.Writer, title string, rows []Row, normaliseTo string) {
+	fmt.Fprintf(w, "%s\n", title)
+	var base float64
+	for _, r := range rows {
+		if r.Label == normaliseTo {
+			base = r.Value
+		}
+	}
+	for _, r := range rows {
+		if base > 0 {
+			fmt.Fprintf(w, "  %-16s %12.2f %-8s %8.2fx\n", r.Label, r.Value, r.Unit, r.Value/base)
+		} else {
+			fmt.Fprintf(w, "  %-16s %12.2f %-8s\n", r.Label, r.Value, r.Unit)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Measure times fn over iters iterations and returns time per iteration.
+func Measure(iters int, fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start) / time.Duration(iters)
+}
+
+// Percentile returns the p-quantile (0..1) of the sorted-in-place samples.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(p * float64(len(samples)-1))
+	return samples[idx]
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is reported when a class needs more live instances than its
+// preallocated block holds. The paper's strategy (§4.4.1) is to report the
+// overflow so that preallocation can be adjusted on the next run, rather
+// than to allocate dynamically in constrained code paths.
+var ErrOverflow = errors.New("tesla: automaton instance table overflow")
+
+// VerdictKind classifies the terminal outcome of an automaton instance.
+type VerdictKind int
+
+const (
+	// VerdictAccept: the instance reached cleanup in an accepting state.
+	VerdictAccept VerdictKind = iota
+	// VerdictNoInstance: a required event (assertion site) arrived with a
+	// binding for which no instance could take a transition.
+	VerdictNoInstance
+	// VerdictBadTransition: a strict automaton instance observed an event
+	// its current state cannot accept.
+	VerdictBadTransition
+	// VerdictIncomplete: cleanup fired while an instance was in a
+	// non-accepting state — an `eventually` obligation never happened.
+	VerdictIncomplete
+)
+
+func (k VerdictKind) String() string {
+	switch k {
+	case VerdictAccept:
+		return "accept"
+	case VerdictNoInstance:
+		return "no-instance"
+	case VerdictBadTransition:
+		return "bad-transition"
+	case VerdictIncomplete:
+		return "incomplete"
+	default:
+		return fmt.Sprintf("VerdictKind(%d)", int(k))
+	}
+}
+
+// Violation describes a detected mismatch between a temporal assertion and
+// actual program behaviour.
+type Violation struct {
+	Class *Class
+	Kind  VerdictKind
+	// Key is the event or instance binding involved.
+	Key Key
+	// State is the instance state at failure (0 for no-instance errors).
+	State uint32
+	// Symbol names the event that exposed the violation, when known.
+	Symbol string
+}
+
+func (v *Violation) Error() string {
+	switch v.Kind {
+	case VerdictNoInstance:
+		return fmt.Sprintf("tesla: %s: no automaton instance matches %s at required event %q — %s",
+			v.Class.Name, v.Key, v.Symbol, v.Class.Description)
+	case VerdictBadTransition:
+		return fmt.Sprintf("tesla: %s: instance %s in state %d cannot accept event %q — %s",
+			v.Class.Name, v.Key, v.State, v.Symbol, v.Class.Description)
+	case VerdictIncomplete:
+		return fmt.Sprintf("tesla: %s: instance %s still in state %d at cleanup (%q): obligation never satisfied — %s",
+			v.Class.Name, v.Key, v.State, v.Symbol, v.Class.Description)
+	default:
+		return fmt.Sprintf("tesla: %s: verdict %s for %s", v.Class.Name, v.Kind, v.Key)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Context selects where automata state lives (§3.2). In the thread-local
+// context event serialisation is implicit and the store needs no locking;
+// the global context serialises events across threads with an explicit lock,
+// committing to an event order corresponding to an actual program behaviour.
+type Context int
+
+const (
+	// PerThread stores automata state per thread; no synchronisation.
+	PerThread Context = iota
+	// Global shares one store across threads behind a lock.
+	Global
+)
+
+func (c Context) String() string {
+	switch c {
+	case PerThread:
+		return "per-thread"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("Context(%d)", int(c))
+	}
+}
+
+// classState holds a class's preallocated instance block within one store.
+type classState struct {
+	cls *Class
+	// insts is allocated once, at class registration, so that instance
+	// bookkeeping never allocates on monitored code paths (§4.4.1: “In
+	// the kernel we rely on preallocation to avoid dynamic allocation in
+	// code paths that do not permit it”).
+	insts []Instance
+	live  int
+}
+
+// Store manages automata instances for one context. The zero value is not
+// usable; construct with NewStore.
+type Store struct {
+	mu      sync.Mutex
+	context Context
+	handler Handler
+
+	classes map[*Class]*classState
+	// order preserves registration order for deterministic iteration.
+	order []*classState
+
+	// FailFast makes UpdateState return the first violation as an error
+	// (fail-stop is TESLA's default, but it is configurable at run time).
+	FailFast bool
+}
+
+// NewStore creates a store for the given context. handler may be nil, in
+// which case notifications are discarded.
+func NewStore(ctx Context, handler Handler) *Store {
+	if handler == nil {
+		handler = NopHandler{}
+	}
+	return &Store{
+		context: ctx,
+		handler: handler,
+		classes: make(map[*Class]*classState),
+	}
+}
+
+// Context returns the store's context.
+func (s *Store) Context() Context { return s.context }
+
+// Handler returns the store's notification handler.
+func (s *Store) Handler() Handler { return s.handler }
+
+// SetHandler replaces the notification handler.
+func (s *Store) SetHandler(h Handler) {
+	if h == nil {
+		h = NopHandler{}
+	}
+	s.lock()
+	s.handler = h
+	s.unlock()
+}
+
+func (s *Store) lock() {
+	if s.context == Global {
+		s.mu.Lock()
+	}
+}
+
+func (s *Store) unlock() {
+	if s.context == Global {
+		s.mu.Unlock()
+	}
+}
+
+// Register adds a class to the store, preallocating its instance block.
+// Registering the same class twice is a no-op.
+func (s *Store) Register(cls *Class) {
+	s.lock()
+	defer s.unlock()
+	if _, ok := s.classes[cls]; ok {
+		return
+	}
+	cs := &classState{
+		cls:   cls,
+		insts: make([]Instance, cls.limit()),
+	}
+	s.classes[cls] = cs
+	s.order = append(s.order, cs)
+}
+
+// RegisterWithStorage registers cls using caller-supplied instance storage
+// instead of allocating its own — the §7 extension ("performance
+// improvements could be gained by allowing users to delegate space within
+// data structures of the instrumented program; this would naturally lead to
+// per-object assertions, allowing assertions to be more easily tied to an
+// object's lifetime"). The slice's length is the class's instance limit for
+// this store; the caller must not touch it while the class is registered.
+// Re-registering a class replaces its storage and expunges live instances.
+func (s *Store) RegisterWithStorage(cls *Class, storage []Instance) {
+	if len(storage) == 0 {
+		s.Register(cls)
+		return
+	}
+	for i := range storage {
+		storage[i] = Instance{}
+	}
+	s.lock()
+	defer s.unlock()
+	if cs, ok := s.classes[cls]; ok {
+		cs.insts = storage
+		cs.live = 0
+		return
+	}
+	cs := &classState{cls: cls, insts: storage}
+	s.classes[cls] = cs
+	s.order = append(s.order, cs)
+}
+
+// Registered reports whether cls has been registered.
+func (s *Store) Registered(cls *Class) bool {
+	s.lock()
+	defer s.unlock()
+	_, ok := s.classes[cls]
+	return ok
+}
+
+// Classes returns registered classes in registration order.
+func (s *Store) Classes() []*Class {
+	s.lock()
+	defer s.unlock()
+	out := make([]*Class, len(s.order))
+	for i, cs := range s.order {
+		out[i] = cs.cls
+	}
+	return out
+}
+
+// Instances returns a snapshot of the live instances of cls, primarily for
+// introspection and tests.
+func (s *Store) Instances(cls *Class) []Instance {
+	s.lock()
+	defer s.unlock()
+	cs := s.classes[cls]
+	if cs == nil {
+		return nil
+	}
+	var out []Instance
+	for i := range cs.insts {
+		if cs.insts[i].Active {
+			out = append(out, cs.insts[i])
+		}
+	}
+	return out
+}
+
+// LiveCount returns the number of active instances of cls.
+func (s *Store) LiveCount(cls *Class) int {
+	s.lock()
+	defer s.unlock()
+	cs := s.classes[cls]
+	if cs == nil {
+		return 0
+	}
+	return cs.live
+}
+
+// Reset expunges all instances of every class, as after a cleanup event.
+func (s *Store) Reset() {
+	s.lock()
+	defer s.unlock()
+	for _, cs := range s.order {
+		cs.expunge()
+	}
+}
+
+// ResetClass expunges all instances of one class.
+func (s *Store) ResetClass(cls *Class) {
+	s.lock()
+	defer s.unlock()
+	if cs := s.classes[cls]; cs != nil {
+		cs.expunge()
+	}
+}
+
+func (cs *classState) expunge() {
+	for i := range cs.insts {
+		cs.insts[i].Active = false
+	}
+	cs.live = 0
+}
+
+// findExact returns the active instance with exactly the given key, or nil.
+func (cs *classState) findExact(key Key) *Instance {
+	for i := range cs.insts {
+		if cs.insts[i].Active && cs.insts[i].Key == key {
+			return &cs.insts[i]
+		}
+	}
+	return nil
+}
+
+// alloc claims a free preallocated slot, or returns nil on overflow.
+func (cs *classState) alloc() *Instance {
+	for i := range cs.insts {
+		if !cs.insts[i].Active {
+			cs.live++
+			return &cs.insts[i]
+		}
+	}
+	return nil
+}

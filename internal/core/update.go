@@ -1,0 +1,191 @@
+package core
+
+// UpdateState drives one program event through an automaton class,
+// implementing the instance lifecycle of §4.4.1:
+//
+//   - «init»: an event whose transition set carries TransInit creates a new
+//     instance when no existing instance consumed the event.
+//   - clone: an event that specialises a live instance's key (binds new
+//     variables) forks a copy; the more general parent instance remains so
+//     that other bindings can fork later.
+//   - update: an event matching an instance's key and state moves it along.
+//   - error: a required event (SymRequired, e.g. reaching the assertion
+//     site) that no instance can accept is a violation, as is a strict
+//     automaton instance observing an event its state cannot accept.
+//   - «cleanup»: an event whose set carries TransCleanup finalises the
+//     class; instances that cannot take a cleanup transition have unmet
+//     obligations (eventually-style violations) and all instances are
+//     expunged afterwards.
+//
+// symbol names the driving event for notification purposes. key carries the
+// variable bindings the event provides. ts is the set of class transitions
+// this event can drive, assembled statically by the event translator.
+//
+// The returned error is non-nil only when the store is in FailFast mode and
+// a violation or overflow occurred; the store's Handler is notified of every
+// outcome regardless.
+func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Key, ts TransitionSet) error {
+	s.lock()
+	defer s.unlock()
+
+	cs := s.classes[cls]
+	if cs == nil {
+		// Implicit registration keeps one-off uses simple; hot paths
+		// should Register up front so this branch never runs.
+		s.unlock()
+		s.Register(cls)
+		s.lock()
+		cs = s.classes[cls]
+	}
+
+	var firstErr error
+	fail := func(v *Violation) {
+		s.handler.Fail(v)
+		if firstErr == nil {
+			firstErr = v
+		}
+	}
+
+	cleanup := ts.HasCleanup()
+
+	// Snapshot the instances that were live before this event so that
+	// clones created below are not themselves driven by the same event.
+	var liveIdx [DefaultInstanceLimit]int
+	live := liveIdx[:0]
+	for i := range cs.insts {
+		if cs.insts[i].Active {
+			live = append(live, i)
+		}
+	}
+
+	matched := false
+	for _, i := range live {
+		inst := &cs.insts[i]
+		if !inst.Key.Compatible(key) {
+			continue
+		}
+
+		var tr *Transition
+		for j := range ts {
+			if ts[j].From == inst.State {
+				tr = &ts[j]
+				break
+			}
+		}
+
+		if tr == nil {
+			switch {
+			case cleanup:
+				// The bound is ending but this instance is stuck
+				// in a non-accepting state: an `eventually`
+				// obligation was never satisfied.
+				fail(&Violation{Class: cls, Kind: VerdictIncomplete, Key: inst.Key, State: inst.State, Symbol: symbol})
+			case flags&SymStrict != 0:
+				fail(&Violation{Class: cls, Kind: VerdictBadTransition, Key: inst.Key, State: inst.State, Symbol: symbol})
+				inst.Active = false
+				cs.live--
+			}
+			continue
+		}
+
+		if inst.Key.Specializes(key) {
+			// The event binds variables this instance has not seen:
+			// clone a more specific instance and leave the parent.
+			newKey := inst.Key.Union(key)
+			if cs.findExact(newKey) != nil {
+				// The specific instance already exists and is
+				// processed (or was) on its own terms.
+				matched = true
+				continue
+			}
+			clone := cs.alloc()
+			if clone == nil {
+				s.handler.Overflow(cls, newKey)
+				if s.FailFast && firstErr == nil {
+					firstErr = ErrOverflow
+				}
+				continue
+			}
+			*clone = Instance{State: tr.To, Key: newKey, Active: true}
+			s.handler.InstanceClone(cls, inst, clone)
+			s.handler.Transition(cls, clone, tr.From, tr.To, symbol)
+			matched = true
+			if tr.Cleanup() {
+				s.handler.Accept(cls, clone)
+			}
+			continue
+		}
+
+		from := inst.State
+		inst.State = tr.To
+		s.handler.Transition(cls, inst, from, tr.To, symbol)
+		matched = true
+		if tr.Cleanup() {
+			s.handler.Accept(cls, inst)
+		}
+	}
+
+	if !matched {
+		if init := initTransition(ts); init != nil {
+			initKey := key.project(init.KeyMask)
+			if cs.findExact(initKey) == nil {
+				inst := cs.alloc()
+				if inst == nil {
+					s.handler.Overflow(cls, initKey)
+					if s.FailFast && firstErr == nil {
+						firstErr = ErrOverflow
+					}
+				} else {
+					*inst = Instance{State: init.To, Key: initKey, Active: true}
+					s.handler.InstanceNew(cls, inst)
+					s.handler.Transition(cls, inst, init.From, init.To, symbol)
+					matched = true
+					if init.Cleanup() {
+						s.handler.Accept(cls, inst)
+					}
+				}
+			}
+		} else if flags&SymRequired != 0 && cs.live > 0 {
+			// Execution reached the assertion site with bindings for
+			// which no instance exists: the events the assertion
+			// requires never happened (fig. 9 “Error”). With no live
+			// instances at all the automaton was never initialised —
+			// the event arrived outside the assertion's bound — and
+			// libtesla ignores events until the next «init».
+			fail(&Violation{Class: cls, Kind: VerdictNoInstance, Key: key, Symbol: symbol})
+		}
+	}
+
+	if cleanup {
+		// A cleanup transition resets the class: all instances are
+		// expunged and events are ignored until the next «init».
+		cs.expunge()
+	}
+
+	if s.FailFast {
+		return firstErr
+	}
+	return nil
+}
+
+// initTransition returns the first init transition in ts, or nil.
+func initTransition(ts TransitionSet) *Transition {
+	for i := range ts {
+		if ts[i].Init() {
+			return &ts[i]
+		}
+	}
+	return nil
+}
+
+// project restricts a key to the slots in mask.
+func (k Key) project(mask uint32) Key {
+	var out Key
+	out.Mask = k.Mask & mask
+	for i := 0; i < KeySize; i++ {
+		if out.Mask&(1<<uint(i)) != 0 {
+			out.Data[i] = k.Data[i]
+		}
+	}
+	return out
+}

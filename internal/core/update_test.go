@@ -1,0 +1,492 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig9Class builds the automaton of figure 9:
+//
+//	TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)
+//
+// States: 0 pre-init, 1 in-syscall (∗), 2 check done (so), 4 assertion
+// passed (so). Cleanup (syscall exit) is legal from states 1, 2 and 4.
+func fig9Class() *Class {
+	return &Class{
+		Name:        "mac.c:42",
+		Description: "TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)",
+		States:      5,
+		Limit:       8,
+	}
+}
+
+const (
+	symSyscallEnter = "call(amd64_syscall)"
+	symMACCheck     = "mac_socket_check_poll(∗,so)==0"
+	symAssert       = "«assertion»"
+	symSyscallExit  = "returnfrom(amd64_syscall)"
+)
+
+func fig9Sets() (enter, check, site, exit TransitionSet) {
+	enter = TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+	check = TransitionSet{
+		{From: 1, To: 2, KeyMask: 1},
+		{From: 2, To: 2, KeyMask: 1},
+	}
+	site = TransitionSet{
+		{From: 2, To: 4, KeyMask: 1},
+		{From: 4, To: 4, KeyMask: 1},
+	}
+	exit = TransitionSet{
+		{From: 1, To: 3, Flags: TransCleanup},
+		{From: 2, To: 3, Flags: TransCleanup},
+		{From: 4, To: 3, Flags: TransCleanup},
+	}
+	return
+}
+
+func TestFig9Lifecycle(t *testing.T) {
+	cls := fig9Class()
+	h := NewCountingHandler()
+	s := NewStore(PerThread, h)
+	s.Register(cls)
+	enter, check, site, exit := fig9Sets()
+
+	// «init»: entering the syscall creates (∗) in state 1.
+	if err := s.UpdateState(cls, symSyscallEnter, 0, AnyKey, enter); err != nil {
+		t.Fatal(err)
+	}
+	insts := s.Instances(cls)
+	if len(insts) != 1 || insts[0].State != 1 || insts[0].Key != AnyKey {
+		t.Fatalf("after init: %+v", insts)
+	}
+
+	// Clone: a successful check on so=7 forks (7) into state 2; (∗) stays.
+	so := NewKey(7)
+	if err := s.UpdateState(cls, symMACCheck, 0, so, check); err != nil {
+		t.Fatal(err)
+	}
+	insts = s.Instances(cls)
+	if len(insts) != 2 {
+		t.Fatalf("after clone: %+v", insts)
+	}
+	var star, seven *Instance
+	for i := range insts {
+		switch insts[i].Key {
+		case AnyKey:
+			star = &insts[i]
+		case so:
+			seven = &insts[i]
+		}
+	}
+	if star == nil || star.State != 1 {
+		t.Fatalf("parent (∗) wrong: %+v", insts)
+	}
+	if seven == nil || seven.State != 2 {
+		t.Fatalf("clone (7) wrong: %+v", insts)
+	}
+
+	// A second distinct value forks another clone.
+	if err := s.UpdateState(cls, symMACCheck, 0, NewKey(9), check); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.LiveCount(cls); n != 3 {
+		t.Fatalf("after second clone: live=%d", n)
+	}
+
+	// Update: assertion site with so=7 advances (7) to state 4.
+	if err := s.UpdateState(cls, symAssert, SymRequired, so, site); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range s.Instances(cls) {
+		if in.Key == so && in.State == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("assertion did not advance (7): %+v", s.Instances(cls))
+	}
+
+	// «cleanup»: syscall exit accepts all and expunges.
+	if err := s.UpdateState(cls, symSyscallExit, 0, AnyKey, exit); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.LiveCount(cls); n != 0 {
+		t.Fatalf("after cleanup: live=%d", n)
+	}
+	if len(h.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", h.Violations())
+	}
+	if h.Accepts(cls.Name) != 3 {
+		t.Fatalf("accepts = %d, want 3", h.Accepts(cls.Name))
+	}
+}
+
+func TestFig9ErrorNoInstance(t *testing.T) {
+	cls := fig9Class()
+	h := NewCountingHandler()
+	s := NewStore(PerThread, h)
+	s.FailFast = true
+	s.Register(cls)
+	enter, check, site, _ := fig9Sets()
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.UpdateState(cls, symSyscallEnter, 0, AnyKey, enter))
+	must(s.UpdateState(cls, symMACCheck, 0, NewKey(7), check))
+
+	// Assertion site reached with so=3: mac_socket_check_poll(∗,3) never
+	// returned 0, so no instance can be found to update (fig. 9 “Error”).
+	err := s.UpdateState(cls, symAssert, SymRequired, NewKey(3), site)
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("want *Violation, got %v", err)
+	}
+	if v.Kind != VerdictNoInstance {
+		t.Fatalf("kind = %v", v.Kind)
+	}
+	if !strings.Contains(v.Error(), "mac_socket_check_poll") {
+		t.Fatalf("violation should cite assertion text: %s", v.Error())
+	}
+	if len(h.Violations()) != 1 {
+		t.Fatalf("handler saw %d violations", len(h.Violations()))
+	}
+}
+
+func TestEventuallyIncompleteAtCleanup(t *testing.T) {
+	// eventually(audit(x)): after the assertion site, audit must happen
+	// before the bound exits. State 1 = in bound, 2 = past site (no
+	// cleanup edge!), 3 = audited.
+	cls := &Class{Name: "audit", Description: "eventually(audit(x))", States: 5, Limit: 4}
+	h := NewCountingHandler()
+	s := NewStore(PerThread, h)
+	s.Register(cls)
+
+	// The assertion site binds x from the local scope (§4.2), so the site
+	// event carries the key; audit(x) then updates the specific instance
+	// in place. The (∗) parent left in state 1 exits via the bypass edge.
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+	site := TransitionSet{{From: 1, To: 2, KeyMask: 1}}
+	audit := TransitionSet{{From: 2, To: 3, KeyMask: 1}}
+	exit := TransitionSet{
+		{From: 1, To: 4, Flags: TransCleanup},
+		{From: 3, To: 4, Flags: TransCleanup},
+	}
+
+	// Path 1: obligation satisfied.
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	s.UpdateState(cls, "site", SymRequired, NewKey(1), site)
+	s.UpdateState(cls, "audit", 0, NewKey(1), audit)
+	s.UpdateState(cls, "exit", 0, AnyKey, exit)
+	if len(h.Violations()) != 0 {
+		t.Fatalf("satisfied path reported violations: %v", h.Violations())
+	}
+
+	// Path 2: site reached but audit never happens before cleanup.
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	s.UpdateState(cls, "site", SymRequired, NewKey(1), site)
+	s.UpdateState(cls, "exit", 0, AnyKey, exit)
+	vs := h.Violations()
+	if len(vs) != 1 || vs[0].Kind != VerdictIncomplete {
+		t.Fatalf("want one incomplete violation, got %v", vs)
+	}
+	if s.LiveCount(cls) != 0 {
+		t.Fatal("cleanup must expunge even failing instances")
+	}
+
+	// Path 3: bound entered and exited without touching the site — the
+	// bypass cleanup edge from state 1 makes that legal.
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	s.UpdateState(cls, "exit", 0, AnyKey, exit)
+	if len(h.Violations()) != 1 {
+		t.Fatalf("bypass path must not add violations: %v", h.Violations())
+	}
+}
+
+func TestStrictViolation(t *testing.T) {
+	cls := &Class{Name: "strict", Description: "strict ordering", States: 3, Limit: 4}
+	h := NewCountingHandler()
+	s := NewStore(PerThread, h)
+	s.Register(cls)
+
+	s.UpdateState(cls, "enter", 0, AnyKey, TransitionSet{{From: 0, To: 1, Flags: TransInit}})
+	// Event B is only legal from state 2; in strict mode observing it in
+	// state 1 is a violation and deactivates the instance.
+	s.UpdateState(cls, "B", SymStrict, AnyKey, TransitionSet{{From: 2, To: 2}})
+	vs := h.Violations()
+	if len(vs) != 1 || vs[0].Kind != VerdictBadTransition {
+		t.Fatalf("want bad-transition, got %v", vs)
+	}
+	if s.LiveCount(cls) != 0 {
+		t.Fatal("strict violation should deactivate the instance")
+	}
+}
+
+func TestNonStrictIgnoresIrrelevantEvent(t *testing.T) {
+	cls := &Class{Name: "lax", States: 3, Limit: 4}
+	h := NewCountingHandler()
+	s := NewStore(PerThread, h)
+	s.Register(cls)
+
+	s.UpdateState(cls, "enter", 0, AnyKey, TransitionSet{{From: 0, To: 1, Flags: TransInit}})
+	s.UpdateState(cls, "B", 0, AnyKey, TransitionSet{{From: 2, To: 2}})
+	if len(h.Violations()) != 0 {
+		t.Fatalf("non-strict must ignore: %v", h.Violations())
+	}
+	if s.LiveCount(cls) != 1 {
+		t.Fatal("instance should survive")
+	}
+}
+
+func TestEventsIgnoredBeforeInit(t *testing.T) {
+	cls := &Class{Name: "preinit", States: 3, Limit: 4}
+	h := NewCountingHandler()
+	s := NewStore(PerThread, h)
+	s.Register(cls)
+
+	// Non-init, non-required event before any «init» is ignored.
+	s.UpdateState(cls, "check", 0, NewKey(5), TransitionSet{{From: 1, To: 2, KeyMask: 1}})
+	if s.LiveCount(cls) != 0 || len(h.Violations()) != 0 {
+		t.Fatalf("pre-init event must be ignored: live=%d, v=%v", s.LiveCount(cls), h.Violations())
+	}
+}
+
+func TestInitIsIdempotentPerKey(t *testing.T) {
+	cls := &Class{Name: "dup", States: 3, Limit: 4}
+	s := NewStore(PerThread, nil)
+	s.Register(cls)
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	if n := s.LiveCount(cls); n != 1 {
+		t.Fatalf("duplicate init created %d instances", n)
+	}
+}
+
+func TestCloneDedup(t *testing.T) {
+	cls := fig9Class()
+	s := NewStore(PerThread, nil)
+	s.Register(cls)
+	enter, check, _, _ := fig9Sets()
+
+	s.UpdateState(cls, symSyscallEnter, 0, AnyKey, enter)
+	s.UpdateState(cls, symMACCheck, 0, NewKey(7), check)
+	s.UpdateState(cls, symMACCheck, 0, NewKey(7), check)
+	// (∗) in state 1 and (7) in state 2 — the repeat check self-loops (7)
+	// rather than cloning a duplicate.
+	if n := s.LiveCount(cls); n != 2 {
+		t.Fatalf("duplicate clone: live=%d", n)
+	}
+}
+
+func TestOverflowReported(t *testing.T) {
+	cls := &Class{Name: "tiny", States: 3, Limit: 2}
+	h := NewCountingHandler()
+	overflowed := 0
+	s := NewStore(PerThread, MultiHandler{h, overflowCounter{&overflowed}})
+	s.FailFast = true
+	s.Register(cls)
+
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+	check := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 2, KeyMask: 1}}
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	s.UpdateState(cls, "check", 0, NewKey(1), check) // fills slot 2
+	err := s.UpdateState(cls, "check", 0, NewKey(2), check)
+	if err != ErrOverflow {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	if overflowed != 1 {
+		t.Fatalf("overflow notifications = %d", overflowed)
+	}
+	// The store still functions: existing instances are intact.
+	if n := s.LiveCount(cls); n != 2 {
+		t.Fatalf("live=%d", n)
+	}
+}
+
+type overflowCounter struct{ n *int }
+
+func (overflowCounter) InstanceNew(*Class, *Instance)                        {}
+func (overflowCounter) InstanceClone(*Class, *Instance, *Instance)           {}
+func (overflowCounter) Transition(*Class, *Instance, uint32, uint32, string) {}
+func (overflowCounter) Accept(*Class, *Instance)                             {}
+func (overflowCounter) Fail(*Violation)                                      {}
+func (c overflowCounter) Overflow(*Class, Key)                               { *c.n++ }
+
+func TestImplicitRegistration(t *testing.T) {
+	cls := &Class{Name: "implicit", States: 2, Limit: 2}
+	s := NewStore(PerThread, nil)
+	// No Register call: UpdateState registers on first use.
+	s.UpdateState(cls, "enter", 0, AnyKey, TransitionSet{{From: 0, To: 1, Flags: TransInit}})
+	if !s.Registered(cls) {
+		t.Fatal("implicit registration failed")
+	}
+	if s.LiveCount(cls) != 1 {
+		t.Fatal("instance not created")
+	}
+}
+
+func TestResetAndResetClass(t *testing.T) {
+	a := &Class{Name: "a", States: 2, Limit: 2}
+	b := &Class{Name: "b", States: 2, Limit: 2}
+	s := NewStore(PerThread, nil)
+	s.Register(a)
+	s.Register(b)
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+	s.UpdateState(a, "enter", 0, AnyKey, enter)
+	s.UpdateState(b, "enter", 0, AnyKey, enter)
+
+	s.ResetClass(a)
+	if s.LiveCount(a) != 0 || s.LiveCount(b) != 1 {
+		t.Fatal("ResetClass touched wrong class")
+	}
+	s.Reset()
+	if s.LiveCount(b) != 0 {
+		t.Fatal("Reset did not expunge")
+	}
+}
+
+func TestGlobalStoreConcurrency(t *testing.T) {
+	cls := &Class{Name: "conc", States: 3, Limit: 128}
+	s := NewStore(Global, nil)
+	s.Register(cls)
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+	check := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 2, KeyMask: 1}}
+
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				s.UpdateState(cls, "check", 0, NewKey(Value(g*100+i%10)), check)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	// 8 goroutines × 10 distinct keys + the (∗) parent.
+	if n := s.LiveCount(cls); n != 81 {
+		t.Fatalf("live=%d, want 81", n)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cls := fig9Class()
+	if got := cls.String(); !strings.Contains(got, "mac.c:42") {
+		t.Errorf("String() = %q", got)
+	}
+	tr := Transition{From: 0, To: 1, Flags: TransInit | TransCleanup}
+	if s := tr.String(); !strings.Contains(s, "init") || !strings.Contains(s, "cleanup") {
+		t.Errorf("transition string = %q", s)
+	}
+}
+
+func TestVerdictKindString(t *testing.T) {
+	for k, want := range map[VerdictKind]string{
+		VerdictAccept:        "accept",
+		VerdictNoInstance:    "no-instance",
+		VerdictBadTransition: "bad-transition",
+		VerdictIncomplete:    "incomplete",
+		VerdictKind(99):      "VerdictKind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestContextString(t *testing.T) {
+	if PerThread.String() != "per-thread" || Global.String() != "global" {
+		t.Error("context strings wrong")
+	}
+	if Context(9).String() != "Context(9)" {
+		t.Error("unknown context string wrong")
+	}
+}
+
+// TestRegisterWithStorage: the §7 delegated-storage extension — instance
+// state lives in a caller-owned slice (e.g. embedded in the monitored
+// program's own object), tying automata to the object's lifetime.
+func TestRegisterWithStorage(t *testing.T) {
+	cls := &Class{Name: "delegated", States: 3}
+	storage := make([]Instance, 2)
+	s := NewStore(PerThread, nil)
+	s.RegisterWithStorage(cls, storage)
+
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit}}
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	if !storage[0].Active || storage[0].State != 1 {
+		t.Fatalf("instance not in delegated storage: %+v", storage)
+	}
+	// The limit is the slice length: the third instance overflows.
+	check := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 2, KeyMask: 1}}
+	s.FailFast = true
+	s.UpdateState(cls, "check", 0, NewKey(1), check)
+	if err := s.UpdateState(cls, "check", 0, NewKey(2), check); err != ErrOverflow {
+		t.Fatalf("want overflow, got %v", err)
+	}
+
+	// Re-registering with fresh storage resets the class.
+	fresh := make([]Instance, 4)
+	s.RegisterWithStorage(cls, fresh)
+	if s.LiveCount(cls) != 0 {
+		t.Fatal("re-registration must expunge")
+	}
+	s.UpdateState(cls, "enter", 0, AnyKey, enter)
+	if !fresh[0].Active {
+		t.Fatal("fresh storage unused")
+	}
+
+	// Empty storage falls back to normal registration.
+	cls2 := &Class{Name: "fallback", States: 3}
+	s.RegisterWithStorage(cls2, nil)
+	if !s.Registered(cls2) {
+		t.Fatal("fallback registration failed")
+	}
+}
+
+// TestPrintHandlerOutput: the userspace default handler (TESLA_DEBUG-style
+// stderr traces) reports every lifecycle event.
+func TestPrintHandlerOutput(t *testing.T) {
+	var buf strings.Builder
+	h := &PrintHandler{W: &buf}
+	cls := fig9Class()
+	s := NewStore(PerThread, h)
+	s.Register(cls)
+	enter, check, site, exit := fig9Sets()
+
+	s.UpdateState(cls, symSyscallEnter, 0, AnyKey, enter)
+	s.UpdateState(cls, symMACCheck, 0, NewKey(7), check)
+	s.UpdateState(cls, symAssert, SymRequired, NewKey(7), site)
+	s.UpdateState(cls, symAssert, SymRequired, NewKey(3), site)
+	s.UpdateState(cls, symSyscallExit, 0, AnyKey, exit)
+
+	// Overflow path.
+	tiny := &Class{Name: "tiny", States: 3, Limit: 1}
+	s.Register(tiny)
+	s.UpdateState(tiny, "e", 0, AnyKey, TransitionSet{{From: 0, To: 1, Flags: TransInit}})
+	s.UpdateState(tiny, "c", 0, NewKey(1),
+		TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 2, KeyMask: 1}})
+
+	out := buf.String()
+	for _, want := range []string{
+		"new instance (∗)",
+		"clone (∗) -> (7)",
+		"-> 1 on",                           // transition line
+		"(7) accepted",                      // acceptance
+		"no automaton instance matches (3)", // violation
+		"overflow",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print handler missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package csub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int
+	line int
+}
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1}
+}
+
+// multi-character punctuation, longest first.
+var punct2 = []string{"->", "==", "!=", "<=", ">=", "&&", "||", "+=", "++"}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("%s:%d: unterminated comment", l.file, l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+end+4], "\n")
+			l.pos += end + 4
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, pos: l.pos, line: l.line}, nil
+
+scan:
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tIdent, text: l.src[start:l.pos], pos: start, line: line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && isNum(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("%s:%d: bad number %q", l.file, line, text)
+		}
+		return token{kind: tNumber, num: n, text: text, pos: start, line: line}, nil
+	case c == '#':
+		l.pos++
+		return token{kind: tPunct, text: "#", pos: start, line: line}, nil
+	default:
+		for _, p := range punct2 {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += len(p)
+				return token{kind: tPunct, text: p, pos: start, line: line}, nil
+			}
+		}
+		l.pos++
+		return token{kind: tPunct, text: string(c), pos: start, line: line}, nil
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isAlnum(c byte) bool { return isAlpha(c) || c >= '0' && c <= '9' }
+
+func isNum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == 'x' || c == 'X'
+}

@@ -1,0 +1,126 @@
+package gui
+
+import (
+	"strings"
+	"sync"
+
+	"tesla/internal/core"
+)
+
+// Profiler is an ordered-trace handler supporting the §3.5.3 profiling
+// finding: "according to our profiling, applications often save and restore
+// the graphics state (a comparatively expensive operation), when the only
+// aspects of the state that are changed in between are the current drawing
+// location and the colour… the restore is unnecessary, because the next
+// cell always explicitly sets these values". It records the instrumented
+// message stream in order and reports elidable save/restore pairs —
+// optimisation opportunities that are difficult to discover statically
+// because views delegate drawing to cells provided by other objects.
+type Profiler struct {
+	core.NopHandler
+	mu    sync.Mutex
+	trace []string
+}
+
+// NewProfiler creates an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// Transition records each instrumented event in order.
+func (p *Profiler) Transition(cls *core.Class, inst *core.Instance, from, to uint32, symbol string) {
+	p.mu.Lock()
+	p.trace = append(p.trace, symbol)
+	p.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded event sequence.
+func (p *Profiler) Trace() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.trace...)
+}
+
+// cheapOp reports state changes cells re-establish themselves before
+// drawing (location, colour and per-cell attributes), which make an
+// enclosing save/restore pair redundant.
+func cheapOp(sel string) bool {
+	return sel == "setColor:" || sel == "translate::" || strings.HasPrefix(sel, "setAttr")
+}
+
+func selectorOf(symbol string) string {
+	// Symbols print as "[ANY(id) selector]" or "[ANY(id) sel: ANY(x) …]".
+	s := strings.TrimPrefix(symbol, "[")
+	s = strings.TrimSuffix(s, "]")
+	parts := strings.Fields(s)
+	if len(parts) < 2 {
+		return symbol
+	}
+	if len(parts) == 2 {
+		return parts[1]
+	}
+	// Keyword selector: join the parts ending in ':'.
+	var sel strings.Builder
+	for _, part := range parts[1:] {
+		if strings.HasSuffix(part, ":") {
+			sel.WriteString(part)
+		}
+	}
+	return sel.String()
+}
+
+// SaveRestoreStats summarises graphics-state usage in a trace.
+type SaveRestoreStats struct {
+	// Saves and Restores are the total gsave / grestore(+Token) counts.
+	Saves    int
+	Restores int
+	// Redundant counts restore operations whose matching save window
+	// changed only the drawing location and colour — state the next cell
+	// sets explicitly anyway, so the pair could be elided.
+	Redundant int
+}
+
+// AnalyzeSaveRestore scans the ordered trace for elidable save/restore
+// pairs.
+func AnalyzeSaveRestore(trace []string) SaveRestoreStats {
+	var stats SaveRestoreStats
+	type frame struct{ onlyCheap bool }
+	var stack []frame
+	for _, sym := range trace {
+		sel := selectorOf(sym)
+		switch {
+		case sel == "gsave":
+			stats.Saves++
+			stack = append(stack, frame{onlyCheap: true})
+		case sel == "grestore":
+			stats.Restores++
+			if n := len(stack); n > 0 {
+				if stack[n-1].onlyCheap {
+					stats.Redundant++
+				}
+				stack = stack[:n-1]
+			}
+		case sel == "grestoreToken:":
+			// A non-LIFO restore unwinds every save opened since the
+			// token: one restore closing all open windows.
+			stats.Restores++
+			redundant := len(stack) > 0
+			for _, f := range stack {
+				redundant = redundant && f.onlyCheap
+			}
+			if redundant {
+				stats.Redundant++
+			}
+			stack = stack[:0]
+		case strings.HasPrefix(sel, "drawRect") || strings.HasPrefix(sel, "drawWithFrame"):
+			// Drawing consumes state but does not dirty it.
+		default:
+			if !cheapOp(sel) {
+				// Some other state-changing message: every open
+				// save/restore window is load-bearing.
+				for i := range stack {
+					stack[i].onlyCheap = false
+				}
+			}
+		}
+	}
+	return stats
+}

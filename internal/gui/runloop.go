@@ -1,0 +1,138 @@
+package gui
+
+import (
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+)
+
+// Event is one user-interface event.
+type Event struct {
+	Kind EventKind
+	X, Y int64
+}
+
+// EventKind enumerates UI events.
+type EventKind int
+
+const (
+	// MouseMove moves the pointer, driving tracking rectangles.
+	MouseMove EventKind = iota
+	// Click triggers a partial redraw of the view under the pointer.
+	Click
+	// Expose forces a complete window redraw.
+	Expose
+	// Invalidate recomputes the tracking rectangles (scroll/resize). In
+	// the §3.5.3 bug, the mouse-exited events that should accompany the
+	// recreation are delivered after the events that inspect the
+	// rectangles — effectively lost — so a pointer still inside a
+	// recreated rectangle triggers a second mouse-entered and the same
+	// cursor is pushed onto the cursor stack twice.
+	Invalidate
+)
+
+// RunLoop processes event batches, delivering mouse-entered/exited events
+// and redraws. An iteration is bounded by startDrawing/endDrawing — the
+// bound of the fig. 8 tracing assertion.
+type RunLoop struct {
+	W *Window
+	// Thread, when set, receives the bound events (the TESLA assertion
+	// is bounded by the run-loop iteration).
+	Thread *monitor.Thread
+}
+
+// NewRunLoop creates a run loop over the window.
+func NewRunLoop(w *Window, th *monitor.Thread) *RunLoop {
+	return &RunLoop{W: w, Thread: th}
+}
+
+func (rl *RunLoop) begin() {
+	if rl.Thread != nil {
+		rl.Thread.Call("startDrawing")
+	}
+}
+
+func (rl *RunLoop) end() {
+	if rl.Thread != nil {
+		// The run-loop iteration's assertion site: between the two
+		// instrumentation points, some (or none) of the API methods
+		// should have been called (fig. 8).
+		rl.Thread.Site("gui:runloop")
+		rl.Thread.Return("startDrawing", 0)
+	}
+}
+
+// ProcessBatch runs one run-loop iteration over a batch of events.
+func (rl *RunLoop) ProcessBatch(events []Event) {
+	rl.begin()
+	defer rl.end()
+
+	w := rl.W
+	for _, ev := range events {
+		switch ev.Kind {
+		case MouseMove:
+			w.lastX, w.lastY = ev.X, ev.Y
+			for _, tr := range w.Tracking {
+				now := tr.Rect.Contains(ev.X, ev.Y)
+				switch {
+				case now && !tr.Inside:
+					tr.Inside = true
+					rl.mouseEntered(tr)
+				case !now && tr.Inside:
+					tr.Inside = false
+					rl.mouseExited(tr)
+				}
+			}
+		case Invalidate:
+			for _, tr := range w.Tracking {
+				if w.DeliveryBug {
+					// BUG: the rectangle is recreated with a
+					// clean state, but the deferred exited
+					// event for a pointer that was inside it
+					// is delivered too late to matter: the
+					// next move re-enters and pushes the same
+					// cursor again.
+					tr.Inside = false
+					continue
+				}
+				// Correct recomputation against the current
+				// pointer position, pairing an exit when the
+				// pointer is no longer inside.
+				now := tr.Rect.Contains(w.lastX, w.lastY)
+				if tr.Inside && !now {
+					rl.mouseExited(tr)
+				}
+				tr.Inside = now
+			}
+		default:
+			rl.dispatch(ev)
+		}
+	}
+}
+
+func (rl *RunLoop) dispatch(ev Event) {
+	w := rl.W
+	switch ev.Kind {
+	case Expose:
+		w.Redraws++
+		for _, v := range w.Views {
+			w.RT.MsgSend(v.Obj, "display")
+		}
+	case Click:
+		// Partial redraw: only the view under the pointer repaints
+		// (the majority of events in fig. 14b only repaint portions of
+		// the window; outliers are complete redraws).
+		for _, v := range w.Views {
+			if v.Frame.Contains(ev.X, ev.Y) {
+				w.RT.MsgSend(v.Obj, "display")
+			}
+		}
+	}
+}
+
+func (rl *RunLoop) mouseEntered(tr *TrackingRect) {
+	rl.W.RT.MsgSend(rl.W.cursorObj, "push", core.Value(tr.Cursor))
+}
+
+func (rl *RunLoop) mouseExited(tr *TrackingRect) {
+	rl.W.RT.MsgSend(rl.W.cursorObj, "pop")
+}

@@ -1,0 +1,237 @@
+package gui
+
+import (
+	"tesla/internal/core"
+	"tesla/internal/objc"
+)
+
+// View and cell classes. Views delegate drawing to cells — simple classes
+// that draw data in a particular way, provided by another object — which
+// is why the library's dynamic behaviour is so hard to discover statically
+// (§3.5.3) and why the AppKit profiling found redundant gsave/grestore
+// pairs around cells that always set their own colour and location.
+
+// PadOps is the number of synthetic attribute selectors each cell touches
+// while drawing, standing in for the ~110 AppKit methods the TESLAGOps.h
+// header lists for instrumentation.
+const PadOps = 96
+
+// PadSelectors returns the synthetic attribute selector names.
+func PadSelectors() []string {
+	out := make([]string, PadOps)
+	for i := range out {
+		out[i] = padSel(i)
+	}
+	return out
+}
+
+func padSel(i int) string {
+	return "setAttr" + string(rune('A'+i/10)) + string(rune('0'+i%10)) + ":"
+}
+
+// CoreSelectors are the real drawing/cursor selectors TESLA instruments.
+var CoreSelectors = []string{
+	"push", "pop", "drawWithFrame:inView:", "drawRect:", "display",
+	"gsave", "grestore", "grestoreToken:", "setColor:", "translate::",
+	"lockFocus", "unlockFocus", "setNeedsDisplay:", "mouseEntered:",
+}
+
+// AllSelectors is the complete instrumented selector list (fig. 8's
+// TESLAGOps.h contents: roughly 110 methods).
+func AllSelectors() []string {
+	return append(append([]string{}, CoreSelectors...), PadSelectors()...)
+}
+
+// Window owns the view tree, the back end and the cursor machinery.
+type Window struct {
+	RT      *objc.Runtime
+	Backend Backend
+
+	viewClass   *objc.Class
+	cellClass   *objc.Class
+	cursorClass *objc.Class
+	beObj       *objc.Object
+	cursorObj   *objc.Object
+
+	Views []*View
+
+	// CursorStack is the shared cursor stack of §3.5.3.
+	CursorStack []int64
+	// Tracking rectangles generate mouse-entered/exited events.
+	Tracking []*TrackingRect
+	// DeliveryBug enables the event-ordering bug: events invalidating
+	// cursor tracking rectangles are delivered after events that inspect
+	// them, so rapid moves push the same cursor multiple times.
+	DeliveryBug bool
+
+	// Redraws counts full-window redraws.
+	Redraws int
+
+	// lastX/lastY track the pointer for tracking-rect recomputation.
+	lastX, lastY int64
+}
+
+// View is a rectangle of screen delegating most drawing to cells.
+type View struct {
+	Obj    *objc.Object
+	Frame  Rect
+	Color  int64
+	Cells  []*Cell
+	Nested bool // draws a nested save and restores non-LIFO (old-backend idiom)
+}
+
+// Cell draws data in a particular way inside a view.
+type Cell struct {
+	Obj   *objc.Object
+	Frame Rect
+	Color int64
+}
+
+// TrackingRect generates enter/exit events that push and pop cursors.
+type TrackingRect struct {
+	Rect   Rect
+	Cursor int64
+	Inside bool
+}
+
+// NewWindow builds a window over the given runtime and back end.
+func NewWindow(rt *objc.Runtime, be Backend) *Window {
+	w := &Window{RT: rt, Backend: be}
+
+	w.viewClass = objc.NewClass("NSView", nil)
+	w.cellClass = objc.NewClass("NSCell", nil)
+	w.cursorClass = objc.NewClass("NSCursor", nil)
+	beClass := objc.NewClass("GSBackend", nil)
+
+	// Back-end selectors forward to the Backend implementation so every
+	// graphics-state operation is an observable message send.
+	beClass.AddMethod("gsave", func(_ *objc.Runtime, _ *objc.Object, _ ...core.Value) core.Value {
+		return w.Backend.Save()
+	})
+	beClass.AddMethod("grestore", func(_ *objc.Runtime, _ *objc.Object, _ ...core.Value) core.Value {
+		w.Backend.Restore()
+		return 0
+	})
+	beClass.AddMethod("grestoreToken:", func(_ *objc.Runtime, _ *objc.Object, args ...core.Value) core.Value {
+		w.Backend.RestoreToken(args[0])
+		return 0
+	})
+	beClass.AddMethod("setColor:", func(_ *objc.Runtime, _ *objc.Object, args ...core.Value) core.Value {
+		w.Backend.SetColor(int64(args[0]))
+		return 0
+	})
+	beClass.AddMethod("translate::", func(_ *objc.Runtime, _ *objc.Object, args ...core.Value) core.Value {
+		w.Backend.Translate(int64(args[0]), int64(args[1]))
+		return 0
+	})
+	beClass.AddMethod("drawRect:", func(_ *objc.Runtime, _ *objc.Object, args ...core.Value) core.Value {
+		w.Backend.DrawRect(Rect{int64(args[0]), int64(args[1]), int64(args[2]), int64(args[3])})
+		return 0
+	})
+	for i := 0; i < PadOps; i++ {
+		beClass.AddMethod(padSel(i), func(_ *objc.Runtime, _ *objc.Object, _ ...core.Value) core.Value {
+			return 0
+		})
+	}
+	w.beObj = rt.NewObject(beClass)
+
+	// Cursor push/pop are message sends on NSCursor (fig. 8's [ANY(id)
+	// push] / [ANY(id) pop] events).
+	w.cursorClass.AddMethod("push", func(_ *objc.Runtime, _ *objc.Object, args ...core.Value) core.Value {
+		w.CursorStack = append(w.CursorStack, int64(args[0]))
+		return 0
+	})
+	w.cursorClass.AddMethod("pop", func(_ *objc.Runtime, _ *objc.Object, _ ...core.Value) core.Value {
+		if n := len(w.CursorStack); n > 0 {
+			w.CursorStack = w.CursorStack[:n-1]
+		}
+		return 0
+	})
+	w.cursorObj = rt.NewObject(w.cursorClass)
+
+	// Cell drawing: explicitly sets colour and location, then draws —
+	// which is why the enclosing save/restore is often redundant (§3.5.3
+	// optimisation finding).
+	w.cellClass.AddMethod("drawWithFrame:inView:", func(rt *objc.Runtime, self *objc.Object, args ...core.Value) core.Value {
+		color := int64(args[0])
+		rt.MsgSend(w.beObj, "setColor:", core.Value(color))
+		rt.MsgSend(w.beObj, "drawRect:", args[1], args[2], args[3], args[4])
+		// Touch a handful of the padding attribute selectors.
+		for i := 0; i < 6; i++ {
+			rt.MsgSend(w.beObj, padSel((int(args[1])+i)%PadOps))
+		}
+		return 0
+	})
+
+	// View display: save state, translate, draw own background, let each
+	// cell draw, restore. A Nested view restores directly to its saved
+	// token (non-LIFO) after its cells have saved further states — valid
+	// against the old back end, wrong output on the new one.
+	w.viewClass.AddMethod("display", func(rt *objc.Runtime, self *objc.Object, args ...core.Value) core.Value {
+		v := w.viewByObj(self)
+		tok := rt.MsgSend(w.beObj, "gsave")
+		rt.MsgSend(w.beObj, "translate::", core.Value(v.Frame.X), core.Value(v.Frame.Y))
+		rt.MsgSend(w.beObj, "setColor:", core.Value(v.Color))
+		rt.MsgSend(w.beObj, "drawRect:", 0, 0, core.Value(v.Frame.W), core.Value(v.Frame.H))
+		for _, c := range v.Cells {
+			if v.Nested {
+				// Nested views leave per-cell saves open and jump
+				// back with one non-LIFO token restore below.
+				rt.MsgSend(w.beObj, "gsave")
+			} else {
+				// The AppKit-typical pattern the §3.5.3 profiling
+				// calls out: each cell draw is wrapped in its own
+				// save/restore, even though the cell explicitly
+				// sets every attribute it uses.
+				rt.MsgSend(w.beObj, "gsave")
+			}
+			rt.MsgSend(c.Obj, "drawWithFrame:inView:",
+				core.Value(c.Color), core.Value(c.Frame.X), core.Value(c.Frame.Y),
+				core.Value(c.Frame.W), core.Value(c.Frame.H))
+			if !v.Nested {
+				rt.MsgSend(w.beObj, "grestore")
+			}
+		}
+		if v.Nested {
+			// Restore straight to the view's own save point,
+			// skipping the per-cell saves: non-LIFO.
+			rt.MsgSend(w.beObj, "grestoreToken:", tok)
+		} else {
+			rt.MsgSend(w.beObj, "grestore")
+		}
+		return 0
+	})
+
+	return w
+}
+
+func (w *Window) viewByObj(o *objc.Object) *View {
+	for _, v := range w.Views {
+		if v.Obj == o {
+			return v
+		}
+	}
+	return nil
+}
+
+// AddView creates a view with n cells.
+func (w *Window) AddView(frame Rect, color int64, ncells int, nested bool) *View {
+	v := &View{Obj: w.RT.NewObject(w.viewClass), Frame: frame, Color: color, Nested: nested}
+	for i := 0; i < ncells; i++ {
+		c := &Cell{
+			Obj:   w.RT.NewObject(w.cellClass),
+			Frame: Rect{int64(i) * 10, 0, 10, 10},
+			Color: color + int64(i) + 1,
+		}
+		v.Cells = append(v.Cells, c)
+	}
+	w.Views = append(w.Views, v)
+	return v
+}
+
+// AddTracking registers a cursor tracking rectangle.
+func (w *Window) AddTracking(r Rect, cursor int64) *TrackingRect {
+	tr := &TrackingRect{Rect: r, Cursor: cursor}
+	w.Tracking = append(w.Tracking, tr)
+	return tr
+}

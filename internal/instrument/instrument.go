@@ -1,0 +1,512 @@
+// Package instrument rewrites IR modules so that program events drive
+// automaton transitions, implementing §4.2 of the paper. It adds two kinds
+// of code: program hooks (calls to generated functions at function entry and
+// returns, around call sites, after structure-field stores and at assertion
+// sites) and event translators (generated functions that check an event's
+// static parameters and, on success, pass the dynamic variable–value
+// mapping to libtesla via the __tesla_update intrinsic).
+//
+// Function events are instrumented in callee context when the target is
+// defined in the program (hooks in its entry block and before its returns)
+// and in caller context otherwise (hooks immediately before and after call
+// sites) — or as forced by the caller/callee modifiers. Instrumentation
+// runs on unoptimised IR; the optimiser runs afterwards (§4.2).
+package instrument
+
+import (
+	"fmt"
+	"strings"
+
+	"tesla/internal/automata"
+	"tesla/internal/compiler"
+	"tesla/internal/ir"
+	"tesla/internal/monitor"
+	"tesla/internal/spec"
+)
+
+// Options configures instrumentation.
+type Options struct {
+	// DefinedFns is the set of functions defined anywhere in the program
+	// (across all modules), used to pick caller vs callee side for
+	// unmodified events. Nil means "only this module's functions".
+	DefinedFns map[string]bool
+	// Suffix disambiguates generated translator names when several
+	// modules are instrumented separately and then linked (the LLVM
+	// equivalent relies on linkonce semantics).
+	Suffix string
+}
+
+// Stats reports what the instrumenter did, for build reporting and the
+// figure 10 experiment.
+type Stats struct {
+	Hooks       int // hook call sites inserted
+	Translators int // event-translator functions generated
+	Sites       int // assertion sites wired
+}
+
+// Module instruments a clone of mod against the automata and returns it;
+// the input module is not mutated. The automata slice order must match the
+// order used to construct the runtime monitor (indices are compiled in).
+func Module(mod *ir.Module, autos []*automata.Automaton, opts Options) (*ir.Module, Stats, error) {
+	ins := &instrumenter{
+		mod:     mod.Clone(),
+		autos:   autos,
+		slots:   monitor.BoundSlots(autos),
+		defined: opts.DefinedFns,
+		suffix:  opts.Suffix,
+		genned:  map[string]bool{},
+	}
+	if ins.defined == nil {
+		ins.defined = map[string]bool{}
+		for _, f := range mod.Funcs {
+			ins.defined[f.Name] = true
+		}
+	}
+	if err := ins.run(); err != nil {
+		return nil, Stats{}, err
+	}
+	return ins.mod, ins.stats, nil
+}
+
+// Strip removes residual assertion-site pseudo-calls, producing the
+// "Default" (uninstrumented) build used as the experimental baseline.
+func Strip(mod *ir.Module) *ir.Module {
+	out := mod.Clone()
+	for _, f := range out.Funcs {
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && strings.HasPrefix(in.Sym, compiler.SitePseudoFn) {
+					kept = append(kept, ir.Instr{Op: ir.OpConst, Dst: in.Dst, Imm: 0})
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+	return out
+}
+
+type instrumenter struct {
+	mod     *ir.Module
+	autos   []*automata.Automaton
+	slots   map[string]int
+	defined map[string]bool
+	suffix  string
+	genned  map[string]bool
+	stats   Stats
+}
+
+func (ins *instrumenter) run() error {
+	for _, f := range ins.mod.Funcs {
+		if strings.HasPrefix(f.Name, "__tesla") {
+			continue
+		}
+		if err := ins.instrumentFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// calleeSide reports whether a function event should hook the callee.
+func (ins *instrumenter) calleeSide(sym *automata.Symbol) bool {
+	switch sym.Side {
+	case spec.SideCallee:
+		return true
+	case spec.SideCaller:
+		return false
+	default:
+		return ins.defined[sym.Fn]
+	}
+}
+
+func (ins *instrumenter) instrumentFunc(f *ir.Func) error {
+	// Entry hooks run bound begins before entry-event translators; return
+	// hooks run exit-event translators before bound ends, matching the
+	// runtime dispatch order (events belong to the bound they occur in).
+	var entryBounds, entryEvents []ir.Instr
+	var retEvents, retBounds []ir.Instr
+
+	for ai, a := range ins.autos {
+		b := a.Spec.Bound
+		slot := ins.slots[b.String()]
+		if b.Begin.Fn == f.Name {
+			h := ir.Instr{Op: ir.OpCall, Sym: "__tesla_bound_begin", Imm: int64(slot)}
+			if b.Begin.Kind == spec.StaticCall {
+				entryBounds = append(entryBounds, h)
+			} else {
+				retBounds = append(retBounds, h)
+			}
+		}
+		if b.End.Fn == f.Name {
+			h := ir.Instr{Op: ir.OpCall, Sym: "__tesla_bound_end", Imm: int64(slot)}
+			if b.End.Kind == spec.StaticReturn {
+				retBounds = append(retBounds, h)
+			} else {
+				entryEvents = append(entryEvents, h)
+			}
+		}
+
+		for _, sym := range a.Symbols {
+			if sym.ObjC || sym.Fn != f.Name || !ins.calleeSide(sym) {
+				continue
+			}
+			switch sym.Kind {
+			case automata.KindFuncEntry:
+				if len(sym.Args) > f.NParams {
+					continue // cannot match: fewer params than patterns
+				}
+				tr := ins.translator(ai, sym)
+				args := paramRegs(len(sym.Args))
+				entryEvents = append(entryEvents, ir.Instr{Op: ir.OpCall, Sym: tr, Args: args})
+			case automata.KindFuncExit:
+				if len(sym.Args) > f.NParams {
+					continue
+				}
+				tr := ins.translator(ai, sym)
+				// Args fixed; ret value appended at each ret site.
+				retEvents = append(retEvents, ir.Instr{Op: ir.OpCall, Sym: tr, Args: paramRegs(len(sym.Args)), Imm: 1})
+			}
+		}
+	}
+	entryHooks := append(entryBounds, entryEvents...)
+	retHooks := append(retEvents, retBounds...)
+
+	// Insert entry hooks at the top of the entry block.
+	if len(entryHooks) > 0 {
+		entry := f.Blocks[0]
+		pre := make([]ir.Instr, 0, len(entryHooks))
+		for _, h := range entryHooks {
+			h.Dst = f.NewReg()
+			pre = append(pre, h)
+			ins.stats.Hooks++
+		}
+		entry.Instrs = append(pre, entry.Instrs...)
+	}
+
+	// Walk every block: ret hooks, caller-side call hooks, field stores,
+	// assertion sites.
+	for _, blk := range f.Blocks {
+		out := make([]ir.Instr, 0, len(blk.Instrs))
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.OpRet:
+				for _, h := range retHooks {
+					h2 := h
+					h2.Dst = f.NewReg()
+					if h.Imm == 1 && h.Op == ir.OpCall && strings.HasPrefix(h.Sym, "__tesla_evt") {
+						// Exit translator: append the return value.
+						h2.Imm = 0
+						retArg := in.X
+						if !in.HasX {
+							retArg = f.NewReg()
+							out = append(out, ir.Instr{Op: ir.OpConst, Dst: retArg, Imm: 0})
+						}
+						h2.Args = append(append([]int{}, h.Args...), retArg)
+					}
+					out = append(out, h2)
+					ins.stats.Hooks++
+				}
+				out = append(out, in)
+
+			case ir.OpCall:
+				if strings.HasPrefix(in.Sym, compiler.SitePseudoFn) {
+					site, err := ins.siteCall(in, f)
+					if err != nil {
+						return err
+					}
+					out = append(out, site...)
+					continue
+				}
+				pre, post := ins.callerHooks(f, in)
+				out = append(out, pre...)
+				out = append(out, in)
+				out = append(out, post...)
+
+			case ir.OpFieldStore:
+				out = append(out, in)
+				out = append(out, ins.fieldHooks(f, in)...)
+
+			default:
+				out = append(out, in)
+			}
+		}
+		blk.Instrs = out
+	}
+	return nil
+}
+
+func paramRegs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// siteCall replaces a __tesla_inline_assertion pseudo-call with a call to
+// the __tesla_site intrinsic for the matching automaton. Assertions with no
+// automaton in this build are removed (their Dst is fed a constant).
+func (ins *instrumenter) siteCall(in ir.Instr, f *ir.Func) ([]ir.Instr, error) {
+	name := strings.TrimPrefix(in.Sym, compiler.SitePseudoFn+":")
+	for ai, a := range ins.autos {
+		if a.Name == name {
+			ins.stats.Sites++
+			return []ir.Instr{{
+				Op:   ir.OpCall,
+				Dst:  in.Dst,
+				Sym:  "__tesla_site",
+				Imm:  int64(ai),
+				Args: in.Args,
+				Line: in.Line,
+			}}, nil
+		}
+	}
+	return []ir.Instr{{Op: ir.OpConst, Dst: in.Dst, Imm: 0}}, nil
+}
+
+// callerHooks instruments around a call site when the event wants (or
+// needs) caller-side instrumentation.
+func (ins *instrumenter) callerHooks(f *ir.Func, in ir.Instr) (pre, post []ir.Instr) {
+	if strings.HasPrefix(in.Sym, "__tesla") || in.Sym == "print" {
+		return nil, nil
+	}
+	for ai, a := range ins.autos {
+		for _, sym := range a.Symbols {
+			if sym.ObjC || sym.Fn != in.Sym || ins.calleeSide(sym) {
+				continue
+			}
+			if len(sym.Args) > len(in.Args) {
+				continue
+			}
+			switch sym.Kind {
+			case automata.KindFuncEntry:
+				tr := ins.translator(ai, sym)
+				pre = append(pre, ir.Instr{
+					Op: ir.OpCall, Dst: f.NewReg(), Sym: tr,
+					Args: append([]int{}, in.Args[:len(sym.Args)]...),
+				})
+				ins.stats.Hooks++
+			case automata.KindFuncExit:
+				tr := ins.translator(ai, sym)
+				post = append(post, ir.Instr{
+					Op: ir.OpCall, Dst: f.NewReg(), Sym: tr,
+					Args: append(append([]int{}, in.Args[:len(sym.Args)]...), in.Dst),
+				})
+				ins.stats.Hooks++
+			}
+		}
+	}
+	return pre, post
+}
+
+// fieldHooks instruments after a matching structure-field store. The
+// translator receives (target, value); increments pass a dummy value.
+func (ins *instrumenter) fieldHooks(f *ir.Func, in ir.Instr) []ir.Instr {
+	var out []ir.Instr
+	for ai, a := range ins.autos {
+		for _, sym := range a.Symbols {
+			if sym.Kind != automata.KindFieldAssign {
+				continue
+			}
+			if sym.Struct != in.Struct.Name || sym.Field != in.Struct.Fields[in.Field].Name {
+				continue
+			}
+			if assignKind(sym.AssignOp) != in.Assign {
+				continue
+			}
+			tr := ins.translator(ai, sym)
+			val := in.Y
+			if in.Assign == ir.AssignIncr {
+				val = in.X // unused by the translator; keep registers valid
+			}
+			out = append(out, ir.Instr{
+				Op: ir.OpCall, Dst: f.NewReg(), Sym: tr,
+				Args: []int{in.X, val},
+			})
+			ins.stats.Hooks++
+		}
+	}
+	return out
+}
+
+func assignKind(op spec.AssignOp) ir.AssignKind {
+	switch op {
+	case spec.OpAddAssign:
+		return ir.AssignAdd
+	case spec.OpIncr:
+		return ir.AssignIncr
+	default:
+		return ir.AssignSet
+	}
+}
+
+// translator returns (generating on first use) the event-translator
+// function for (automaton, symbol). Translators are chains of basic blocks:
+// first the static checks on event parameters, then — if they pass — a
+// fixed-size key is populated with the dynamic variable–value mapping and
+// passed to libtesla via __tesla_update (§4.2 “Event translators”).
+func (ins *instrumenter) translator(autoIdx int, sym *automata.Symbol) string {
+	name := fmt.Sprintf("__tesla_evt_%d_%d%s", autoIdx, sym.ID, ins.suffix)
+	if ins.genned[name] {
+		return name
+	}
+	ins.genned[name] = true
+	ins.stats.Translators++
+
+	var nparams int
+	switch sym.Kind {
+	case automata.KindFieldAssign:
+		nparams = 2 // target, value
+	case automata.KindFuncExit:
+		nparams = len(sym.Args) + 1 // args..., ret
+	default:
+		nparams = len(sym.Args)
+	}
+
+	f := &ir.Func{Name: name, NParams: nparams}
+	f.NRegs = nparams
+	body := f.NewBlock("checks")
+	fail := -1 // created on demand
+
+	cur := body
+	emit := func(in ir.Instr) {
+		f.Blocks[cur].Instrs = append(f.Blocks[cur].Instrs, in)
+	}
+	konst := func(v int64) int {
+		r := f.NewReg()
+		emit(ir.Instr{Op: ir.OpConst, Dst: r, Imm: v})
+		return r
+	}
+	failBlock := func() int {
+		if fail < 0 {
+			fail = f.NewBlock("fail")
+			z := f.NewReg()
+			f.Blocks[fail].Instrs = append(f.Blocks[fail].Instrs,
+				ir.Instr{Op: ir.OpConst, Dst: z, Imm: 0},
+				ir.Instr{Op: ir.OpRet, X: z, HasX: true})
+		}
+		return fail
+	}
+	// check branches to the next check block when cond holds, else fail.
+	check := func(cond int) {
+		next := f.NewBlock("check")
+		emit(ir.Instr{Op: ir.OpCondBr, X: cond, Blk1: next, Blk2: failBlock()})
+		cur = next
+	}
+	loadIndirect := func(reg int, indirect bool) int {
+		if !indirect {
+			return reg
+		}
+		r := f.NewReg()
+		emit(ir.Instr{Op: ir.OpLoad, Dst: r, X: reg})
+		return r
+	}
+	staticCheck := func(reg int, p spec.ArgPattern) {
+		v := loadIndirect(reg, p.Indirect)
+		switch p.Kind {
+		case spec.PatConst:
+			k := konst(p.Const)
+			c := f.NewReg()
+			emit(ir.Instr{Op: ir.OpBin, Dst: c, Imm: int64(ir.BinEq), X: v, Y: k})
+			check(c)
+		case spec.PatFlags:
+			k := konst(p.Const)
+			masked := f.NewReg()
+			emit(ir.Instr{Op: ir.OpBin, Dst: masked, Imm: int64(ir.BinAnd), X: v, Y: k})
+			c := f.NewReg()
+			emit(ir.Instr{Op: ir.OpBin, Dst: c, Imm: int64(ir.BinEq), X: masked, Y: k})
+			check(c)
+		case spec.PatBitmask:
+			k := konst(^p.Const)
+			masked := f.NewReg()
+			emit(ir.Instr{Op: ir.OpBin, Dst: masked, Imm: int64(ir.BinAnd), X: v, Y: k})
+			z := konst(0)
+			c := f.NewReg()
+			emit(ir.Instr{Op: ir.OpBin, Dst: c, Imm: int64(ir.BinEq), X: masked, Y: z})
+			check(c)
+		}
+	}
+
+	// Static checks and duplicate-variable consistency.
+	varReg := map[string]int{}
+	varCheck := func(reg int, name string, indirect bool) int {
+		v := loadIndirect(reg, indirect)
+		if prev, ok := varReg[name]; ok {
+			c := f.NewReg()
+			emit(ir.Instr{Op: ir.OpBin, Dst: c, Imm: int64(ir.BinEq), X: v, Y: prev})
+			check(c)
+		} else {
+			varReg[name] = v
+		}
+		return v
+	}
+
+	switch sym.Kind {
+	case automata.KindFieldAssign:
+		if p := sym.Target; p.Kind == spec.PatVar {
+			varCheck(0, p.Var, p.Indirect)
+		} else {
+			staticCheck(0, p)
+		}
+		if sym.AssignOp != spec.OpIncr {
+			if p := sym.Value; p.Kind == spec.PatVar {
+				varCheck(1, p.Var, p.Indirect)
+			} else {
+				staticCheck(1, p)
+			}
+		}
+	default:
+		for i, p := range sym.Args {
+			if p.Kind == spec.PatVar {
+				varCheck(i, p.Var, p.Indirect)
+			} else {
+				staticCheck(i, p)
+			}
+		}
+		if sym.Kind == automata.KindFuncExit && sym.Ret != nil {
+			retReg := nparams - 1
+			if p := *sym.Ret; p.Kind == spec.PatVar {
+				varCheck(retReg, p.Var, p.Indirect)
+			} else {
+				staticCheck(retReg, p)
+			}
+		}
+	}
+
+	// Key population: capture values in capture order.
+	var capArgs []int
+	for _, c := range sym.Captures {
+		var reg int
+		switch c.Src {
+		case automata.CapArg:
+			reg = c.Index
+		case automata.CapRet:
+			reg = nparams - 1
+		case automata.CapTarget:
+			reg = 0
+		case automata.CapValue:
+			reg = 1
+		default:
+			continue
+		}
+		reg = loadIndirect(reg, c.Indirect)
+		capArgs = append(capArgs, reg)
+	}
+	upd := f.NewReg()
+	emit(ir.Instr{
+		Op:   ir.OpCall,
+		Dst:  upd,
+		Sym:  "__tesla_update",
+		Imm:  int64(autoIdx)<<16 | int64(sym.ID),
+		Args: capArgs,
+	})
+	one := f.NewReg()
+	emit(ir.Instr{Op: ir.OpConst, Dst: one, Imm: 1})
+	emit(ir.Instr{Op: ir.OpRet, X: one, HasX: true})
+
+	ins.mod.Funcs = append(ins.mod.Funcs, f)
+	return name
+}

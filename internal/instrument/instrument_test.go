@@ -1,0 +1,303 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"tesla/internal/automata"
+	"tesla/internal/compiler"
+	"tesla/internal/csub"
+	"tesla/internal/ir"
+	"tesla/internal/spec"
+)
+
+func compileUnit(t *testing.T, src string) (*compiler.Unit, *compiler.Context) {
+	t.Helper()
+	f, err := csub.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := compiler.NewContext(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := compiler.CompileFile(f, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, ctx
+}
+
+func countCalls(m *ir.Module, prefix string) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && strings.HasPrefix(in.Sym, prefix) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+const srcBasic = `
+int check(int vp) { return 0; }
+int body(int vp) {
+	TESLA_SYSCALL_PREVIOUSLY(check(vp) == 0);
+	return vp;
+}
+int amd64_syscall(int vp) {
+	int c = check(vp);
+	return body(vp);
+}
+`
+
+func TestCalleeSideHooks(t *testing.T) {
+	u, ctx := compileUnit(t, srcBasic)
+	auto, err := automata.Compile(u.Assertions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: ctx.DefinedFns()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sites != 1 {
+		t.Fatalf("sites = %d", stats.Sites)
+	}
+	if stats.Translators == 0 || stats.Hooks == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// check is defined in the module: callee-side exit hook in check's
+	// own body, none around the call site.
+	chk := m.Func("check")
+	found := false
+	for _, b := range chk.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && strings.HasPrefix(in.Sym, "__tesla_evt") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("callee-side exit hook missing in check")
+	}
+	// Bound hooks around amd64_syscall.
+	if countCalls(m, "__tesla_bound_begin") != 1 || countCalls(m, "__tesla_bound_end") == 0 {
+		t.Fatal("bound hooks missing")
+	}
+	// The input module is untouched.
+	if countCalls(u.Module, "__tesla_bound_begin") != 0 {
+		t.Fatal("instrumentation mutated the input module")
+	}
+}
+
+func TestCallerSideForUndefinedFn(t *testing.T) {
+	src := `
+int body(int vp) {
+	int c = ext_check(vp);
+	TESLA_SYSCALL_PREVIOUSLY(ext_check(vp) == 0);
+	return vp;
+}
+int amd64_syscall(int vp) { return body(vp); }
+`
+	u, ctx := compileUnit(t, src)
+	auto, err := automata.Compile(u.Assertions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ext_check is not defined anywhere: caller-side instrumentation.
+	defined := ctx.DefinedFns()
+	m, _, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: defined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Func("body")
+	var hookAfterCall bool
+	for _, b := range body.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Sym == "ext_check" && i+1 < len(b.Instrs) {
+				next := b.Instrs[i+1]
+				if next.Op == ir.OpCall && strings.HasPrefix(next.Sym, "__tesla_evt") {
+					hookAfterCall = true
+				}
+			}
+		}
+	}
+	if !hookAfterCall {
+		t.Fatal("caller-side exit hook not inserted after the call site")
+	}
+}
+
+func TestStripRemovesSites(t *testing.T) {
+	u, _ := compileUnit(t, srcBasic)
+	if countCalls(u.Module, compiler.SitePseudoFn) != 1 {
+		t.Fatal("pseudo-call missing before strip")
+	}
+	s := Strip(u.Module)
+	if countCalls(s, compiler.SitePseudoFn) != 0 {
+		t.Fatal("strip left pseudo-calls")
+	}
+}
+
+func TestTranslatorStaticChecks(t *testing.T) {
+	// Flags and bitmask patterns compile to mask-and-compare chains.
+	src := `
+#define IO_NOMACCHECK 128
+int vn_rdwr(int vp, int flags) { return 0; }
+int body(int vp) {
+	TESLA_SYSCALL_PREVIOUSLY(called(vn_rdwr(vp, flags(IO_NOMACCHECK))));
+	return 0;
+}
+int amd64_syscall(int vp) {
+	int r = vn_rdwr(vp, 128);
+	return body(vp);
+}
+`
+	u, ctx := compileUnit(t, src)
+	auto, err := automata.Compile(u.Assertions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: ctx.DefinedFns()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var translator *ir.Func
+	for _, f := range m.Funcs {
+		if strings.HasPrefix(f.Name, "__tesla_evt") {
+			translator = f
+		}
+	}
+	if translator == nil {
+		t.Fatal("translator not generated")
+	}
+	text := translator.String()
+	if !strings.Contains(text, "and") || !strings.Contains(text, "condbr") {
+		t.Fatalf("translator lacks flag checks:\n%s", text)
+	}
+	if !strings.Contains(text, "__tesla_update") {
+		t.Fatalf("translator lacks update call:\n%s", text)
+	}
+}
+
+func TestFieldStoreHooks(t *testing.T) {
+	src := `
+struct proc { int p_flag; };
+int amd64_syscall(struct proc *p) {
+	TESLA_SYSCALL(eventually(p.p_flag = 256));
+	p->p_flag = 256;
+	p->p_flag += 1;
+	return 0;
+}
+`
+	u, ctx := compileUnit(t, src)
+	auto, err := automata.Compile(u.Assertions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: ctx.DefinedFns()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the plain-assignment store is hooked; the compound one has a
+	// different operator and does not match.
+	fn := m.Func("amd64_syscall")
+	hooks := 0
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpFieldStore && i+1 < len(b.Instrs) {
+				next := b.Instrs[i+1]
+				if next.Op == ir.OpCall && strings.HasPrefix(next.Sym, "__tesla_evt") {
+					hooks++
+				}
+			}
+		}
+	}
+	if hooks != 1 {
+		t.Fatalf("field hooks = %d, want 1", hooks)
+	}
+	_ = stats
+}
+
+func TestExplicitSideModifiers(t *testing.T) {
+	u, ctx := compileUnit(t, `
+int lib(int x) { return 0; }
+int body(int x) {
+	TESLA_SYSCALL_PREVIOUSLY(caller(lib(x) == 0));
+	return 0;
+}
+int amd64_syscall(int x) {
+	int r = lib(x);
+	return body(x);
+}
+`)
+	auto, err := automata.Compile(u.Assertions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: ctx.DefinedFns()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// caller() forces call-site hooks even though lib is defined here.
+	libFn := m.Func("lib")
+	for _, b := range libFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && strings.HasPrefix(in.Sym, "__tesla_evt") {
+				t.Fatal("caller modifier must not produce callee hooks")
+			}
+		}
+	}
+	caller := m.Func("amd64_syscall")
+	found := false
+	for _, b := range caller.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && strings.HasPrefix(in.Sym, "__tesla_evt") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("caller-side hook missing")
+	}
+}
+
+func TestSuffixDisambiguatesTranslators(t *testing.T) {
+	u, ctx := compileUnit(t, srcBasic)
+	auto, err := automata.Compile(u.Assertions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: ctx.DefinedFns(), Suffix: "__m0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Module(u.Module, []*automata.Automaton{auto}, Options{DefinedFns: ctx.DefinedFns(), Suffix: "__m1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Funcs = m2.Funcs[len(u.Module.Funcs):] // keep only generated translators
+	if _, err := ir.Link("prog", m1, m2); err != nil {
+		t.Fatalf("suffixed translators should link: %v", err)
+	}
+}
+
+func TestUnmatchedSiteIsRemoved(t *testing.T) {
+	u, _ := compileUnit(t, srcBasic)
+	// Instrument against a different automaton: the site pseudo-call has
+	// no automaton and is dropped.
+	other := automata.MustCompile(spec.SyscallPreviously("other", spec.Call("zzz").ReturnsInt(0)))
+	m, stats, err := Module(u.Module, []*automata.Automaton{other}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sites != 0 {
+		t.Fatalf("sites = %d", stats.Sites)
+	}
+	if countCalls(m, compiler.SitePseudoFn) != 0 {
+		t.Fatal("unmatched pseudo-call left behind")
+	}
+}

@@ -1,0 +1,258 @@
+// Package ir defines the intermediate representation the TESLA toolchain
+// instruments. It stands in for LLVM IR in the paper's pipeline (§4.2): a
+// typed, register-based representation produced by the C-subset front-end
+// without optimisation (mutable locals live in allocas, as in `clang -O0`
+// output, so no φ-nodes are needed), instrumented by internal/instrument,
+// then lightly optimised and executed by internal/vm.
+package ir
+
+import "fmt"
+
+// Opcode enumerates IR instructions.
+type Opcode int
+
+const (
+	// OpConst: Dst = Imm.
+	OpConst Opcode = iota
+	// OpAlloca: Dst = address of a fresh stack slot (Imm = word count).
+	OpAlloca
+	// OpAllocHeap: Dst = address of a fresh heap object of Struct's size.
+	OpAllocHeap
+	// OpLoad: Dst = *X.
+	OpLoad
+	// OpStore: *X = Y.
+	OpStore
+	// OpFieldAddr: Dst = &X->field (Struct, Field index).
+	OpFieldAddr
+	// OpFieldStore: X->field op= Y, preserving the source-level
+	// assignment operator (AssignKind) so the instrumenter can match
+	// simple and compound assignment events distinctly.
+	OpFieldStore
+	// OpBin: Dst = X <Bin> Y.
+	OpBin
+	// OpCall: Dst = Sym(Args...).
+	OpCall
+	// OpCallPtr: Dst = (*X)(Args...) — indirect call through a function
+	// pointer value.
+	OpCallPtr
+	// OpFnAddr: Dst = address of function Sym.
+	OpFnAddr
+	// OpGlobalAddr: Dst = address of global Sym.
+	OpGlobalAddr
+	// OpBr: unconditional branch to Blk1.
+	OpBr
+	// OpCondBr: branch to Blk1 if X != 0 else Blk2.
+	OpCondBr
+	// OpRet: return X (or 0 when HasX is false).
+	OpRet
+)
+
+// BinKind enumerates binary operators.
+type BinKind int
+
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinAnd // bitwise &
+	BinOr  // bitwise |
+	BinXor // bitwise ^
+)
+
+var binNames = [...]string{"add", "sub", "mul", "div", "rem", "eq", "ne",
+	"lt", "le", "gt", "ge", "and", "or", "xor"}
+
+func (b BinKind) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin%d", int(b))
+}
+
+// AssignKind mirrors the source assignment operator on OpFieldStore.
+type AssignKind int
+
+const (
+	AssignSet  AssignKind = iota // =
+	AssignAdd                    // +=
+	AssignIncr                   // ++
+)
+
+// Instr is one IR instruction. Register operands are indices into the
+// frame's virtual register file; -1 means unused.
+type Instr struct {
+	Op  Opcode
+	Dst int
+	X   int
+	Y   int
+	Imm int64
+	Sym string
+	// Struct/Field identify struct field accesses.
+	Struct *StructType
+	Field  int
+	Assign AssignKind
+	Args   []int
+	Blk1   int
+	Blk2   int
+	HasX   bool // OpRet: X valid
+	// Line is the source line, for diagnostics and site naming.
+	Line int
+}
+
+// Block is a basic block: straight-line instructions ending in a terminator
+// (Br, CondBr or Ret).
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Func is an IR function. Parameters arrive in registers 0..NParams-1.
+type Func struct {
+	Name    string
+	NParams int
+	NRegs   int
+	Blocks  []*Block
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() int {
+	r := f.NRegs
+	f.NRegs++
+	return r
+}
+
+// NewBlock appends a new basic block and returns its index.
+func (f *Func) NewBlock(name string) int {
+	f.Blocks = append(f.Blocks, &Block{Name: name})
+	return len(f.Blocks) - 1
+}
+
+// Field is one member of a struct type.
+type Field struct {
+	Name string
+	// Offset in words from the struct base.
+	Offset int
+}
+
+// StructType describes a C-subset struct layout (every field is one word:
+// an int or a pointer).
+type StructType struct {
+	Name   string
+	Fields []Field
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructType) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Size returns the struct size in words.
+func (s *StructType) Size() int { return len(s.Fields) }
+
+// Global is a module-level integer variable.
+type Global struct {
+	Name string
+	Init int64
+}
+
+// Module is a compilation unit: the unit of instrumentation and of
+// incremental rebuilds (§5.1).
+type Module struct {
+	Name    string
+	Structs []*StructType
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Struct finds a struct type by name, or nil.
+func (m *Module) Struct(name string) *StructType {
+	for _, s := range m.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Func finds a function by name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Link combines modules into a single program image, as the paper's
+// workflow links instrumented LLVM IR files. Struct types with the same
+// name must have identical layouts; function and global names must be
+// unique across modules.
+func Link(name string, mods ...*Module) (*Module, error) {
+	out := &Module{Name: name}
+	structs := map[string]*StructType{}
+	fns := map[string]bool{}
+	globals := map[string]bool{}
+	for _, m := range mods {
+		for _, s := range m.Structs {
+			if prev, ok := structs[s.Name]; ok {
+				if prev.Size() != s.Size() {
+					return nil, fmt.Errorf("ir: link %s: struct %s has conflicting layouts", name, s.Name)
+				}
+				continue
+			}
+			structs[s.Name] = s
+			out.Structs = append(out.Structs, s)
+		}
+		for _, g := range m.Globals {
+			if globals[g.Name] {
+				return nil, fmt.Errorf("ir: link %s: duplicate global %s", name, g.Name)
+			}
+			globals[g.Name] = true
+			out.Globals = append(out.Globals, g)
+		}
+		for _, f := range m.Funcs {
+			if fns[f.Name] {
+				return nil, fmt.Errorf("ir: link %s: duplicate function %s", name, f.Name)
+			}
+			fns[f.Name] = true
+			out.Funcs = append(out.Funcs, f)
+		}
+	}
+	return out, nil
+}
+
+// Clone deep-copies a module so instrumentation can run without mutating
+// the front-end's output (needed for clean incremental-rebuild semantics).
+func (m *Module) Clone() *Module {
+	out := &Module{Name: m.Name, Structs: m.Structs}
+	out.Globals = append([]*Global(nil), m.Globals...)
+	for _, f := range m.Funcs {
+		nf := &Func{Name: f.Name, NParams: f.NParams, NRegs: f.NRegs}
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Instrs: make([]Instr, len(b.Instrs))}
+			copy(nb.Instrs, b.Instrs)
+			for i := range nb.Instrs {
+				if nb.Instrs[i].Args != nil {
+					nb.Instrs[i].Args = append([]int(nil), nb.Instrs[i].Args...)
+				}
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package ir
+
+// Optimize performs the post-instrumentation clean-up pass standing in for
+// `opt -O2` in the paper's pipeline (§4.2: TESLA instruments unoptimised IR
+// and optimises afterwards, since instrumentation is not robust in the
+// presence of inlining). It removes instructions whose results are unused
+// (the front-end emits temporaries freely) and folds constant conditional
+// branches. Virtual registers are single-assignment for temporaries, so a
+// use count is sufficient for liveness.
+func Optimize(m *Module) {
+	for _, f := range m.Funcs {
+		optimizeFunc(f)
+	}
+}
+
+func optimizeFunc(f *Func) {
+	for {
+		changed := false
+
+		// Use counts over the whole function; storeOnly tracks allocas
+		// whose address never escapes a plain store — their stores are
+		// dead (dead-local elimination).
+		used := make([]int, f.NRegs)
+		escaped := make([]bool, f.NRegs)
+		isAlloca := make([]bool, f.NRegs)
+		mark := func(r int) {
+			if r >= 0 && r < len(used) {
+				used[r]++
+			}
+		}
+		escape := func(r int) {
+			mark(r)
+			if r >= 0 && r < len(escaped) {
+				escaped[r] = true
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case OpAlloca:
+					if in.Dst >= 0 && in.Dst < len(isAlloca) {
+						isAlloca[in.Dst] = true
+					}
+				case OpConst, OpAllocHeap, OpFnAddr, OpGlobalAddr:
+				case OpLoad, OpFieldAddr, OpCondBr:
+					escape(in.X)
+				case OpStore:
+					// The address is used, but not escaped: a
+					// store alone cannot keep an alloca alive.
+					mark(in.X)
+					escape(in.Y)
+				case OpBin, OpFieldStore:
+					escape(in.X)
+					escape(in.Y)
+				case OpCall, OpCallPtr:
+					escape(in.X)
+					for _, a := range in.Args {
+						escape(a)
+					}
+				case OpRet:
+					if in.HasX {
+						escape(in.X)
+					}
+				}
+			}
+		}
+		deadAlloca := func(r int) bool {
+			return r >= 0 && r < len(isAlloca) && isAlloca[r] && !escaped[r]
+		}
+
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				dead := false
+				switch in.Op {
+				case OpConst, OpFnAddr, OpGlobalAddr, OpFieldAddr, OpAllocHeap, OpLoad, OpBin:
+					// Pure producers: dead when the result is unused.
+					dead = in.Dst >= 0 && used[in.Dst] == 0
+				case OpAlloca:
+					dead = in.Dst >= 0 && (used[in.Dst] == 0 || deadAlloca(in.Dst))
+				case OpStore:
+					// A store into a never-loaded local is dead.
+					dead = deadAlloca(in.X)
+				}
+				if dead {
+					changed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+
+		if !changed {
+			return
+		}
+	}
+}

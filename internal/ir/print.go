@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a readable assembly-like syntax, the
+// analogue of LLVM's textual IR, used by cmd/tesla-instrument's -dump flag
+// and golden tests.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	for _, s := range m.Structs {
+		fmt.Fprintf(&b, "struct %s {", s.Name)
+		for i, f := range s.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(f.Name)
+		}
+		b.WriteString("}\n")
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global %s = %d\n", g.Name, g.Init)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%d params, %d regs) {\n", f.Name, f.NParams, f.NRegs)
+	for bi, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d: ; %s\n", bi, blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", in.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case OpAlloca:
+		return fmt.Sprintf("r%d = alloca %d", in.Dst, in.Imm)
+	case OpAllocHeap:
+		return fmt.Sprintf("r%d = alloc %s", in.Dst, in.Struct.Name)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load r%d", in.Dst, in.X)
+	case OpStore:
+		return fmt.Sprintf("store r%d, r%d", in.X, in.Y)
+	case OpFieldAddr:
+		return fmt.Sprintf("r%d = fieldaddr r%d, %s.%s", in.Dst, in.X, in.Struct.Name, in.Struct.Fields[in.Field].Name)
+	case OpFieldStore:
+		op := map[AssignKind]string{AssignSet: "=", AssignAdd: "+=", AssignIncr: "++"}[in.Assign]
+		return fmt.Sprintf("fieldstore r%d->%s.%s %s r%d", in.X, in.Struct.Name, in.Struct.Fields[in.Field].Name, op, in.Y)
+	case OpBin:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Imm2Bin(), in.X, in.Y)
+	case OpCall:
+		return fmt.Sprintf("r%d = call %s%s", in.Dst, in.Sym, regList(in.Args))
+	case OpCallPtr:
+		return fmt.Sprintf("r%d = callptr r%d%s", in.Dst, in.X, regList(in.Args))
+	case OpFnAddr:
+		return fmt.Sprintf("r%d = fnaddr %s", in.Dst, in.Sym)
+	case OpGlobalAddr:
+		return fmt.Sprintf("r%d = globaladdr %s", in.Dst, in.Sym)
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.Blk1)
+	case OpCondBr:
+		return fmt.Sprintf("condbr r%d, b%d, b%d", in.X, in.Blk1, in.Blk2)
+	case OpRet:
+		if in.HasX {
+			return fmt.Sprintf("ret r%d", in.X)
+		}
+		return "ret"
+	default:
+		return fmt.Sprintf("op%d?", int(in.Op))
+	}
+}
+
+// Imm2Bin decodes the binary operator stored in Imm.
+func (in Instr) Imm2Bin() BinKind { return BinKind(in.Imm) }
+
+func regList(args []int) string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "r%d", a)
+	}
+	b.WriteString(")")
+	return b.String()
+}

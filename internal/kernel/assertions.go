@@ -1,0 +1,251 @@
+package kernel
+
+import (
+	"fmt"
+
+	"tesla/internal/automata"
+	"tesla/internal/spec"
+)
+
+// Set selects assertion subsets, matching table 1 of the paper:
+//
+//	Symbol  Description            Assertions
+//	MF      MAC (filesystem)           25
+//	MS      MAC (sockets)              11
+//	MP      MAC (processes)            10
+//	M       All MAC assertions         48
+//	P       Process lifetimes          37
+//	All     All TESLA assertions       96
+type Set uint8
+
+const (
+	// SetMF is the MAC filesystem assertion set.
+	SetMF Set = 1 << iota
+	// SetMS is the MAC sockets set.
+	SetMS
+	// SetMP is the MAC processes set.
+	SetMP
+	// SetMiscMAC holds the two MAC assertions outside the three subsets
+	// (kld and kenv), bringing M to 48.
+	SetMiscMAC
+	// SetP is the inter-process / process-lifetime set. 26 of its 37
+	// assertions sit in facilities the standard workloads never reach
+	// (19 procfs, 2 CPUSET, 5 POSIX real-time), reproducing the §3.5.2
+	// coverage finding.
+	SetP
+	// SetInfra is the test-assertion set enabled in the "Infrastructure"
+	// kernel configuration.
+	SetInfra
+)
+
+// SetM is every MAC assertion (48).
+const SetM = SetMF | SetMS | SetMP | SetMiscMAC
+
+// SetAll is every TESLA assertion (96).
+const SetAll = SetM | SetP | SetInfra
+
+func (s Set) String() string {
+	switch s {
+	case SetMF:
+		return "MF"
+	case SetMS:
+		return "MS"
+	case SetMP:
+		return "MP"
+	case SetM:
+		return "M"
+	case SetP:
+		return "P"
+	case SetInfra:
+		return "Infrastructure"
+	case SetAll:
+		return "All"
+	case 0:
+		return "none"
+	default:
+		return fmt.Sprintf("Set(%b)", uint8(s))
+	}
+}
+
+// Assertions builds the kernel assertion corpus for the selected sets.
+// Every assertion's site is emitted somewhere in this package; sets not
+// selected contribute nothing (their sites become cheap hash misses).
+func Assertions(sets Set) []*spec.Assertion {
+	var out []*spec.Assertion
+	add := func(set Set, a *spec.Assertion) {
+		if sets&set != 0 {
+			out = append(out, a)
+		}
+	}
+	sp := spec.SyscallPreviously
+
+	// ---- MF: MAC filesystem (25) ----
+
+	// Fig. 7: open-like operations are authorised by one of three checks.
+	add(SetMF, spec.Syscall("MF:ufs_open", spec.Or(
+		spec.Previously(spec.Call("mac_kld_check_load", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+		spec.Previously(spec.Call("mac_vnode_check_exec", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+		spec.Previously(spec.Call("mac_vnode_check_open", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+	)))
+	// Fig. 7: reads are exempt inside ufs_readdir and under IO_NOMACCHECK.
+	add(SetMF, spec.Syscall("MF:ffs_read", spec.Or(
+		spec.InStack("ufs_readdir"),
+		spec.Previously(spec.Call("vn_rdwr", spec.Var("vp"), spec.Flags(IO_NOMACCHECK))),
+		spec.Previously(spec.Call("mac_vnode_check_read", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+	)))
+	add(SetMF, spec.Syscall("MF:ffs_write", spec.Or(
+		spec.Previously(spec.Call("vn_rdwr", spec.Var("vp"), spec.Flags(IO_NOMACCHECK))),
+		spec.Previously(spec.Call("mac_vnode_check_write", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+	)))
+	prevCheck := func(name, check string) *spec.Assertion {
+		return sp(name, spec.Call(check, spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0))
+	}
+	credCheck := func(name, check string) *spec.Assertion {
+		return sp(name, spec.Call(check, spec.Var("cred"), spec.Var("vp")).ReturnsInt(0))
+	}
+	add(SetMF, prevCheck("MF:ufs_readdir", "mac_vnode_check_readdir"))
+	add(SetMF, prevCheck("MF:ufs_setattr", "mac_vnode_check_setmode"))
+	add(SetMF, prevCheck("MF:ufs_getattr", "mac_vnode_check_stat"))
+	add(SetMF, prevCheck("MF:ufs_getacl", "mac_vnode_check_getacl"))
+	add(SetMF, prevCheck("MF:ufs_setacl", "mac_vnode_check_setacl"))
+	// Extended attributes: reachable via their system calls or internally
+	// from the ACL implementation (§3.5.2's "similar complex structures").
+	add(SetMF, spec.Syscall("MF:ufs_getextattr", spec.Or(
+		spec.InStack("ufs_getacl"),
+		spec.Previously(spec.Call("mac_vnode_check_getextattr", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+	)))
+	add(SetMF, spec.Syscall("MF:ufs_setextattr", spec.Or(
+		spec.InStack("ufs_setacl"),
+		spec.Previously(spec.Call("mac_vnode_check_setextattr", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)),
+	)))
+	// Page-fault I/O has its own bound (trap_pfault).
+	add(SetMF, spec.Within("MF:pfault_read", "trap_pfault",
+		spec.Previously(spec.Call("mac_vnode_check_read", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0))))
+	add(SetMF, sp("MF:namei", spec.Call("mac_vnode_check_lookup", spec.AnyPtr(), spec.Var("dvp")).ReturnsInt(0)))
+	add(SetMF, sp("MF:create", spec.Call("mac_vnode_check_create", spec.AnyPtr(), spec.Var("dvp")).ReturnsInt(0)))
+	add(SetMF, prevCheck("MF:vn_poll", "mac_vnode_check_poll"))
+	// Credential-precise variants: the same checks, additionally binding
+	// the subject credential (the class of property that catches
+	// wrong-credential bugs).
+	add(SetMF, credCheck("MF:ufs_readdir_cred", "mac_vnode_check_readdir"))
+	add(SetMF, credCheck("MF:ufs_setattr_cred", "mac_vnode_check_setmode"))
+	add(SetMF, credCheck("MF:ufs_getattr_cred", "mac_vnode_check_stat"))
+	add(SetMF, credCheck("MF:ufs_getacl_cred", "mac_vnode_check_getacl"))
+	add(SetMF, credCheck("MF:ufs_setacl_cred", "mac_vnode_check_setacl"))
+	add(SetMF, credCheck("MF:extattr_get_cred", "mac_vnode_check_getextattr"))
+	add(SetMF, credCheck("MF:extattr_set_cred", "mac_vnode_check_setextattr"))
+	// Flow assertions: once authorised, the operation reaches (or came
+	// through) the filesystem implementation.
+	add(SetMF, spec.SyscallEventually("MF:vn_open", spec.Call("ufs_open", spec.Var("vp"))))
+	add(SetMF, sp("MF:chmod_flow",
+		spec.Call("mac_vnode_check_setmode", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0),
+		spec.Call("ufs_setattr", spec.Var("vp"))))
+	add(SetMF, sp("MF:stat_flow",
+		spec.Call("mac_vnode_check_stat", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0),
+		spec.Call("ufs_getattr", spec.Var("vp"))))
+	add(SetMF, sp("MF:vn_read_post", spec.ReturnFrom("ffs_read", spec.Var("vp"))))
+
+	// ---- MS: MAC sockets (11) ----
+
+	add(SetMS, sp("MS:socreate", spec.Call("mac_socket_check_create", spec.Var("cred")).ReturnsInt(0)))
+	soCheck := func(name, check string) *spec.Assertion {
+		return sp(name, spec.Call(check, spec.Var("cred"), spec.Var("so")).ReturnsInt(0))
+	}
+	add(SetMS, soCheck("MS:sobind", "mac_socket_check_bind"))
+	add(SetMS, soCheck("MS:solisten", "mac_socket_check_listen"))
+	add(SetMS, soCheck("MS:soconnect_generic", "mac_socket_check_connect"))
+	add(SetMS, soCheck("MS:soaccept", "mac_socket_check_accept"))
+	add(SetMS, soCheck("MS:sosend_generic", "mac_socket_check_send"))
+	add(SetMS, soCheck("MS:soreceive_generic", "mac_socket_check_receive"))
+	// Fig. 4: the assertion that found both the kqueue and the
+	// wrong-credential bug — the check must use the *active* credential.
+	add(SetMS, sp("MS:sopoll_generic",
+		spec.Call("mac_socket_check_poll", spec.Var("active_cred"), spec.Var("so")).ReturnsInt(0)))
+	add(SetMS, soCheck("MS:sovisible", "mac_socket_check_visible"))
+	add(SetMS, soCheck("MS:sostat", "mac_socket_check_stat"))
+	add(SetMS, soCheck("MS:sorelabel", "mac_socket_check_relabel"))
+
+	// ---- MP: MAC processes (10) ----
+
+	mpCheck := func(name, check string) *spec.Assertion {
+		return sp(name, spec.Call(check, spec.Var("cred"), spec.Var("p")).ReturnsInt(0))
+	}
+	add(SetMP, mpCheck("MP:wait", "mac_proc_check_wait"))
+	add(SetMP, mpCheck("MP:psignal", "mac_proc_check_signal"))
+	add(SetMP, mpCheck("MP:ptrace", "mac_proc_check_debug"))
+	add(SetMP, mpCheck("MP:sched", "mac_proc_check_sched"))
+	add(SetMP, sp("MP:setuid", spec.Call("mac_cred_check_setuid", spec.Var("cred"), spec.AnyInt()).ReturnsInt(0)))
+	add(SetMP, sp("MP:setgid", spec.Call("mac_cred_check_setgid", spec.Var("cred"), spec.AnyInt()).ReturnsInt(0)))
+	add(SetMP, mpCheck("MP:getaudit", "mac_proc_check_getaudit"))
+	add(SetMP, mpCheck("MP:setaudit", "mac_proc_check_setaudit"))
+	add(SetMP, mpCheck("MP:cred_visible", "mac_cred_check_visible"))
+	add(SetMP, sp("MP:kenv_get", spec.Call("mac_kenv_check_get", spec.Var("cred"), spec.Var("name")).ReturnsInt(0)))
+
+	// ---- Miscellaneous MAC (2): M = 48 ----
+
+	add(SetMiscMAC, sp("M:kldload", spec.Call("mac_kld_check_load", spec.AnyPtr(), spec.Var("vp")).ReturnsInt(0)))
+	add(SetMiscMAC, sp("M:kenv_set", spec.Call("mac_kenv_check_set", spec.Var("cred"), spec.Var("name")).ReturnsInt(0)))
+
+	// ---- P: inter-process / lifecycle (37) ----
+
+	// Exercised (11).
+	sugid := func(name string) *spec.Assertion {
+		return spec.Syscall(name, spec.Eventually(
+			spec.FieldAssign("proc", "p_flag", spec.Var("p"), spec.Flags(P_SUGID))))
+	}
+	add(SetP, sugid("P:setuid_sugid"))
+	add(SetP, sugid("P:setgid_sugid"))
+	add(SetP, sp("P:exec", spec.Call("vn_open", spec.AnyInt())))
+	add(SetP, spec.SyscallEventually("P:fork", spec.Call("proc_init", spec.Any("ptr"))))
+	add(SetP, spec.SyscallEventually("P:exit",
+		spec.Call("proc_zombie", spec.Var("p")), spec.Call("sigparent", spec.Var("p"))))
+	add(SetP, spec.SyscallEventually("P:wait", spec.Call("proc_reap", spec.Var("p"))))
+	add(SetP, sp("P:psignal", spec.Call("p_cansignal", spec.Var("cred"), spec.Var("p")).ReturnsInt(0)))
+	add(SetP, sp("P:ptrace", spec.Call("p_candebug", spec.Var("cred"), spec.Var("p")).ReturnsInt(0)))
+	add(SetP, sp("P:setpriority", spec.Call("p_cansee", spec.Var("cred"), spec.Var("p")).ReturnsInt(0)))
+	add(SetP, sp("P:getpriority", spec.Call("p_cansee", spec.Var("cred"), spec.Var("p")).ReturnsInt(0)))
+	add(SetP, spec.Syscall("P:crsetcred", spec.Or(
+		spec.Previously(spec.Call("mac_cred_check_setuid", spec.AnyPtr(), spec.AnyInt()).ReturnsInt(0)),
+		spec.Previously(spec.Call("mac_cred_check_setgid", spec.AnyPtr(), spec.AnyInt()).ReturnsInt(0)),
+		spec.Previously(spec.Call("mac_vnode_check_exec", spec.AnyPtr(), spec.AnyPtr()).ReturnsInt(0)),
+	)))
+	// Unexercised (26): 19 in the deprecated procfs, 2 in CPUSET, 5 in
+	// POSIX real-time scheduling (§3.5.2).
+	for i := 0; i < ProcfsOps; i++ {
+		add(SetP, sp(fmt.Sprintf("P:procfs%d", i),
+			spec.Call("p_cansee", spec.Var("cred"), spec.Var("p")).ReturnsInt(0)))
+	}
+	add(SetP, spec.SyscallPreviously("P:cpuset_get", spec.Call("cpuset_check", spec.Var("p"))))
+	add(SetP, spec.SyscallPreviously("P:cpuset_set", spec.Call("cpuset_check", spec.Var("p"))))
+	for i := 0; i < RtprioOps; i++ {
+		add(SetP, sp(fmt.Sprintf("P:rtprio%d", i),
+			spec.ReturnFrom(fmt.Sprintf("rtp_op%d", i), spec.Var("p"))))
+	}
+
+	// ---- Infrastructure test assertions (11): All = 96 ----
+
+	// The test assertions reference dedicated tesla_test_* events that
+	// production workloads never trigger: the Infrastructure
+	// configuration therefore measures the cost of the instrumentation
+	// framework itself (per-event dispatch, bound tracking), not of
+	// automaton work.
+	for i := 0; i < 11; i++ {
+		add(SetInfra, spec.Syscall(fmt.Sprintf("Infra:%d", i),
+			spec.Opt(spec.Call(fmt.Sprintf("tesla_test_%d", i)))))
+	}
+
+	return out
+}
+
+// CompileAssertions compiles a set's assertions to automata.
+func CompileAssertions(sets Set) ([]*automata.Automaton, error) {
+	var autos []*automata.Automaton
+	for _, a := range Assertions(sets) {
+		auto, err := automata.Compile(a)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: %s: %w", a.Name, err)
+		}
+		autos = append(autos, auto)
+	}
+	return autos, nil
+}

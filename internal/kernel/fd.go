@@ -1,0 +1,111 @@
+package kernel
+
+import "tesla/internal/core"
+
+// File is an open file description. Ops is the fileops table of figure 3:
+// the first layer of indirection between a system call and the code that
+// implements it. FCred is the credential cached at open time — passing it
+// where the active (thread) credential belongs is the §3.5.2 wrong-
+// credential bug.
+type File struct {
+	ID     core.Value
+	Ops    *FileOps
+	Vnode  *Vnode
+	Socket *Socket
+	FCred  *Ucred
+}
+
+// FileOps mirrors struct fileops.
+type FileOps struct {
+	Poll  func(t *Thread, fp *File, activeCred *Ucred, whence PollWhence) int64
+	Read  func(t *Thread, fp *File, n int64) int64
+	Write func(t *Thread, fp *File, n int64) int64
+	Close func(t *Thread, fp *File) int64
+}
+
+// PollWhence identifies the dynamic call graph a poll arrived through.
+type PollWhence int
+
+const (
+	FromPoll PollWhence = iota
+	FromSelect
+	FromKevent
+)
+
+var vnodeFileOps = &FileOps{
+	Poll:  vnPoll,
+	Read:  vnRead,
+	Write: vnWrite,
+	Close: vnClose,
+}
+
+var socketFileOps = &FileOps{
+	Poll:  sooPoll,
+	Read:  sooRead,
+	Write: sooWrite,
+	Close: sooClose,
+}
+
+// foPoll is the static inline dispatcher of figure 3.
+func (t *Thread) foPoll(fp *File, activeCred *Ucred, whence PollWhence) int64 {
+	return fp.Ops.Poll(t, fp, activeCred, whence)
+}
+
+// newFd installs a file in the descriptor table.
+func (t *Thread) newFd(fp *File) int64 {
+	for i, f := range t.fds {
+		if f == nil {
+			t.fds[i] = fp
+			return int64(i)
+		}
+	}
+	if len(t.fds) >= 1024 {
+		return -EMFILE
+	}
+	t.fds = append(t.fds, fp)
+	return int64(len(t.fds) - 1)
+}
+
+func (t *Thread) fd(n int64) *File {
+	if n < 0 || n >= int64(len(t.fds)) {
+		return nil
+	}
+	return t.fds[n]
+}
+
+// Vnode-backed file operations.
+
+func vnRead(t *Thread, fp *File, n int64) int64 {
+	t.enter("vn_read", fp.ID)
+	ret := t.vnRdwr(fp.Vnode, false, n, 0)
+	if ret == OK {
+		t.site("MF:vn_read_post", fp.Vnode.ID)
+	}
+	t.exit("vn_read", core.Value(ret), fp.ID)
+	return ret
+}
+
+func vnWrite(t *Thread, fp *File, n int64) int64 {
+	t.enter("vn_write", fp.ID)
+	ret := t.vnRdwr(fp.Vnode, true, n, 0)
+	t.exit("vn_write", core.Value(ret), fp.ID)
+	return ret
+}
+
+func vnPoll(t *Thread, fp *File, activeCred *Ucred, whence PollWhence) int64 {
+	t.enter("vn_poll", fp.ID)
+	ret := t.macVnodeCheck("mac_vnode_check_poll", activeCred, fp.Vnode)
+	if ret == OK {
+		t.site("MF:vn_poll", fp.Vnode.ID)
+	}
+	t.exit("vn_poll", core.Value(ret), fp.ID)
+	return ret
+}
+
+func vnClose(t *Thread, fp *File) int64 {
+	t.enter("vn_close", fp.ID)
+	t.invariant(fp.Vnode.refs > 0, "vnode over-release")
+	fp.Vnode.refs--
+	t.exit("vn_close", 0, fp.ID)
+	return OK
+}

@@ -1,0 +1,106 @@
+package kernel
+
+import "tesla/internal/core"
+
+// The MAC Framework separates mechanism — hooks throughout the kernel —
+// from policy. This file is the mechanism: one hook function per protected
+// operation, each an instrumented call observable by TESLA. The policy is
+// a simple integrity-label model (a subject may act on an object whose
+// label does not exceed the subject's); almost every check succeeds under
+// the benchmark workloads, which is the interesting case for overhead
+// measurement — the checks run, TESLA observes them, nothing fails.
+
+// macCheck is the generic policy decision: subject credential vs object.
+func (t *Thread) macCheck(hook string, cred *Ucred, obj core.Value, objLabel int64) int64 {
+	t.enter(hook, cred.ID, obj)
+	ret := int64(OK)
+	if cred.Label < objLabel {
+		ret = EACCES
+	}
+	t.exit(hook, core.Value(ret), cred.ID, obj)
+	return ret
+}
+
+// Socket hooks (the MS assertion set).
+
+func (t *Thread) macSocketCheckCreate(cred *Ucred) int64 {
+	return t.macCheck("mac_socket_check_create", cred, 0, 0)
+}
+func (t *Thread) macSocketCheckBind(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_bind", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckConnect(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_connect", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckListen(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_listen", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckAccept(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_accept", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckSend(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_send", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckReceive(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_receive", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckPoll(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_poll", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckVisible(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_visible", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckStat(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_stat", cred, so.ID, so.Label)
+}
+func (t *Thread) macSocketCheckRelabel(cred *Ucred, so *Socket) int64 {
+	return t.macCheck("mac_socket_check_relabel", cred, so.ID, so.Label)
+}
+
+// Vnode hooks (the MF assertion set).
+
+func (t *Thread) macVnodeCheck(hook string, cred *Ucred, vp *Vnode) int64 {
+	return t.macCheck(hook, cred, vp.ID, vp.Label)
+}
+
+// Process hooks (the MP assertion set).
+
+func (t *Thread) macProcCheckSignal(cred *Ucred, p *Proc) int64 {
+	return t.macCheck("mac_proc_check_signal", cred, p.ID, p.Cred.Label)
+}
+func (t *Thread) macProcCheckDebug(cred *Ucred, p *Proc) int64 {
+	return t.macCheck("mac_proc_check_debug", cred, p.ID, p.Cred.Label)
+}
+func (t *Thread) macProcCheckSched(cred *Ucred, p *Proc) int64 {
+	return t.macCheck("mac_proc_check_sched", cred, p.ID, p.Cred.Label)
+}
+func (t *Thread) macProcCheckWait(cred *Ucred, p *Proc) int64 {
+	return t.macCheck("mac_proc_check_wait", cred, p.ID, p.Cred.Label)
+}
+func (t *Thread) macCredCheckSetuid(cred *Ucred, uid int64) int64 {
+	return t.macCheck("mac_cred_check_setuid", cred, core.Value(uid), 0)
+}
+func (t *Thread) macCredCheckSetgid(cred *Ucred, gid int64) int64 {
+	return t.macCheck("mac_cred_check_setgid", cred, core.Value(gid), 0)
+}
+func (t *Thread) macCredCheckVisible(cred *Ucred, other *Ucred) int64 {
+	return t.macCheck("mac_cred_check_visible", cred, other.ID, other.Label)
+}
+func (t *Thread) macProcCheckSetaudit(cred *Ucred, p *Proc) int64 {
+	return t.macCheck("mac_proc_check_setaudit", cred, p.ID, 0)
+}
+func (t *Thread) macProcCheckGetaudit(cred *Ucred, p *Proc) int64 {
+	return t.macCheck("mac_proc_check_getaudit", cred, p.ID, 0)
+}
+func (t *Thread) macKenvCheckGet(cred *Ucred, name core.Value) int64 {
+	return t.macCheck("mac_kenv_check_get", cred, name, 0)
+}
+
+// Miscellaneous MAC hooks.
+
+func (t *Thread) macKldCheckLoad(cred *Ucred, vp *Vnode) int64 {
+	return t.macCheck("mac_kld_check_load", cred, vp.ID, vp.Label)
+}
+func (t *Thread) macKenvCheckSet(cred *Ucred, name core.Value) int64 {
+	return t.macCheck("mac_kenv_check_set", cred, name, 0)
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"tesla/internal/core"
+	"tesla/internal/spec"
+)
+
+// Ucred is a FreeBSD-style credential.
+type Ucred struct {
+	ID  core.Value
+	UID int64
+	GID int64
+	// Label is the MAC policy label (integrity level for the test
+	// policy; higher is more privileged).
+	Label int64
+	refs  int
+}
+
+// Proc is a process.
+type Proc struct {
+	ID     core.Value
+	Cred   *Ucred
+	Flag   int64 // P_SUGID lives here
+	Parent *Proc
+	State  ProcState
+	// Prio is the scheduling priority (for the MP check corpus).
+	Prio int64
+}
+
+// ProcState tracks the process lifecycle.
+type ProcState int
+
+const (
+	ProcRunning ProcState = iota
+	ProcZombie
+	ProcReaped
+)
+
+func (k *Kernel) newProc() *Proc {
+	cred := &Ucred{ID: k.id(), UID: 0, GID: 0, Label: 10, refs: 1}
+	return &Proc{ID: k.id(), Cred: cred, State: ProcRunning}
+}
+
+// crhold/crfree mirror credential reference counting; INVARIANTS checks
+// catch over-release in Debug builds.
+func (t *Thread) crhold(c *Ucred) *Ucred {
+	c.refs++
+	return c
+}
+
+func (t *Thread) crfree(c *Ucred) {
+	t.invariant(c.refs > 0, "ucred over-release")
+	c.refs--
+}
+
+// setCred installs a new credential on the process. Per the paper's
+// eventually-assertion: “if a process credential is modified, then the
+// P_SUGID process flag must be set to prevent privilege escalation attacks
+// via debuggers.” The MissingSUGID bug omits the flag.
+func (t *Thread) setCred(p *Proc, newCred *Ucred) {
+	t.enter("crsetcred", p.ID, newCred.ID)
+	// Every credential change must have been authorised by one of the
+	// credential-changing checks earlier in this system call.
+	t.site("P:crsetcred", p.ID)
+	old := p.Cred
+	p.Cred = t.crhold(newCred)
+	t.crfree(old)
+	if !t.k.cfg.Bugs.MissingSUGID {
+		p.Flag |= P_SUGID
+		t.assign("proc", "p_flag", p.ID, spec.OpAssign, core.Value(P_SUGID))
+	}
+	t.exit("crsetcred", 0, p.ID, newCred.ID)
+}

@@ -1,0 +1,236 @@
+package kernel
+
+import "tesla/internal/core"
+
+// Socket carries the protosw → pr_usrreqs indirection of figure 3.
+type Socket struct {
+	ID    core.Value
+	Label int64
+	Proto *ProtoSw
+	State int64
+	Buf   int64 // bytes queued
+	Peer  *Socket
+}
+
+// ProtoSw mirrors struct protosw.
+type ProtoSw struct {
+	PrUsrreqs *PrUsrreqs
+}
+
+// PrUsrreqs mirrors struct pr_usrreqs: protocol entry points reached by
+// pointer from protocol-agnostic socket code.
+type PrUsrreqs struct {
+	PruSopoll  func(t *Thread, so *Socket, activeCred *Ucred) int64
+	PruSosend  func(t *Thread, so *Socket, cred *Ucred, n int64) int64
+	PruSorecv  func(t *Thread, so *Socket, cred *Ucred, n int64) int64
+	PruAttach  func(t *Thread, so *Socket) int64
+	PruConnect func(t *Thread, so *Socket, peer *Socket) int64
+}
+
+var tcpUsrreqs = &PrUsrreqs{
+	PruSopoll:  sopollGeneric,
+	PruSosend:  sosendGeneric,
+	PruSorecv:  soreceiveGeneric,
+	PruAttach:  soAttachGeneric,
+	PruConnect: soConnectGeneric,
+}
+
+var tcpProto = &ProtoSw{PrUsrreqs: tcpUsrreqs}
+
+// soCreate is the protocol-agnostic socket(2) implementation.
+func (t *Thread) soCreate() (*Socket, int64) {
+	t.enter("socreate", 0)
+	defer t.exit("socreate", 0, 0)
+	if err := t.macSocketCheckCreate(t.proc.Cred); err != OK {
+		return nil, err
+	}
+	so := &Socket{ID: t.k.id(), Proto: tcpProto}
+	t.site("MS:socreate", t.proc.Cred.ID)
+	if err := so.Proto.PrUsrreqs.PruAttach(t, so); err != OK {
+		return nil, err
+	}
+	return so, OK
+}
+
+// sooPoll is the socket fileops poll entry. The wrong-credential bug lives
+// here: one dynamic call graph (select) passes the cached file credential
+// down instead of the active thread credential.
+func sooPoll(t *Thread, fp *File, activeCred *Ucred, whence PollWhence) int64 {
+	t.enter("soo_poll", fp.ID, core.Value(whence))
+	so := fp.Socket
+	checkCred := activeCred
+	if t.k.cfg.Bugs.WrongCredential && whence == FromSelect {
+		checkCred = fp.FCred
+	}
+	var ret int64
+	if whence == FromKevent && t.k.cfg.Bugs.KqueueMissingPollCheck {
+		// The kqueue path omits the MAC check entirely.
+		ret = OK
+	} else {
+		ret = t.macSocketCheckPoll(checkCred, so)
+	}
+	if ret == OK {
+		ret = t.sopoll(so, activeCred)
+	}
+	t.exit("soo_poll", core.Value(ret), fp.ID, core.Value(whence))
+	return ret
+}
+
+// sopoll dispatches into protocol code through pr_usrreqs.
+func (t *Thread) sopoll(so *Socket, activeCred *Ucred) int64 {
+	t.enter("sopoll", so.ID)
+	ret := so.Proto.PrUsrreqs.PruSopoll(t, so, activeCred)
+	t.exit("sopoll", core.Value(ret), so.ID)
+	return ret
+}
+
+// sopollGeneric is protocol-specific code: here, we expect that an
+// access-control check has already been done (figures 3 and 4).
+func sopollGeneric(t *Thread, so *Socket, activeCred *Ucred) int64 {
+	t.enter("sopoll_generic", so.ID, activeCred.ID)
+	// TESLA_SYSCALL_PREVIOUSLY(
+	//     mac_socket_check_poll(active_cred, so) == 0);
+	t.site("MS:sopoll_generic", activeCred.ID, so.ID)
+	ready := int64(0)
+	if so.Buf > 0 {
+		ready = 1
+	}
+	t.exit("sopoll_generic", core.Value(ready), so.ID, activeCred.ID)
+	return OK
+}
+
+func soAttachGeneric(t *Thread, so *Socket) int64 {
+	t.enter("soattach_generic", so.ID)
+	so.State = 1
+	t.exit("soattach_generic", 0, so.ID)
+	return OK
+}
+
+func soConnectGeneric(t *Thread, so *Socket, peer *Socket) int64 {
+	t.enter("soconnect_generic", so.ID)
+	t.site("MS:soconnect_generic", t.proc.Cred.ID, so.ID)
+	so.Peer = peer
+	if peer != nil {
+		peer.Peer = so
+	}
+	so.State = 2
+	t.exit("soconnect_generic", 0, so.ID)
+	return OK
+}
+
+func sosendGeneric(t *Thread, so *Socket, cred *Ucred, n int64) int64 {
+	t.enter("sosend_generic", so.ID, cred.ID)
+	t.site("MS:sosend_generic", cred.ID, so.ID)
+	if so.Peer != nil {
+		so.Peer.Buf += n
+	}
+	t.exit("sosend_generic", core.Value(n), so.ID, cred.ID)
+	return OK
+}
+
+func soreceiveGeneric(t *Thread, so *Socket, cred *Ucred, n int64) int64 {
+	t.enter("soreceive_generic", so.ID, cred.ID)
+	t.site("MS:soreceive_generic", cred.ID, so.ID)
+	if so.Buf >= n {
+		so.Buf -= n
+	} else {
+		so.Buf = 0
+	}
+	t.exit("soreceive_generic", core.Value(n), so.ID, cred.ID)
+	return OK
+}
+
+// Socket-layer implementations for the remaining MS assertions.
+
+func (t *Thread) soBind(so *Socket) int64 {
+	t.enter("sobind", so.ID)
+	ret := t.macSocketCheckBind(t.proc.Cred, so)
+	if ret == OK {
+		t.site("MS:sobind", t.proc.Cred.ID, so.ID)
+		so.State = 3
+	}
+	t.exit("sobind", core.Value(ret), so.ID)
+	return ret
+}
+
+func (t *Thread) soListen(so *Socket) int64 {
+	t.enter("solisten", so.ID)
+	ret := t.macSocketCheckListen(t.proc.Cred, so)
+	if ret == OK {
+		t.site("MS:solisten", t.proc.Cred.ID, so.ID)
+		so.State = 4
+	}
+	t.exit("solisten", core.Value(ret), so.ID)
+	return ret
+}
+
+func (t *Thread) soAccept(so *Socket) (*Socket, int64) {
+	t.enter("soaccept", so.ID)
+	defer t.exit("soaccept", 0, so.ID)
+	if err := t.macSocketCheckAccept(t.proc.Cred, so); err != OK {
+		return nil, err
+	}
+	t.site("MS:soaccept", t.proc.Cred.ID, so.ID)
+	conn := &Socket{ID: t.k.id(), Proto: so.Proto, State: 2}
+	return conn, OK
+}
+
+func (t *Thread) soVisible(so *Socket) int64 {
+	t.enter("sovisible", so.ID)
+	ret := t.macSocketCheckVisible(t.proc.Cred, so)
+	if ret == OK {
+		t.site("MS:sovisible", t.proc.Cred.ID, so.ID)
+	}
+	t.exit("sovisible", core.Value(ret), so.ID)
+	return ret
+}
+
+func (t *Thread) soStat(so *Socket) int64 {
+	t.enter("sostat", so.ID)
+	ret := t.macSocketCheckStat(t.proc.Cred, so)
+	if ret == OK {
+		t.site("MS:sostat", t.proc.Cred.ID, so.ID)
+	}
+	t.exit("sostat", core.Value(ret), so.ID)
+	return ret
+}
+
+func (t *Thread) soRelabel(so *Socket, label int64) int64 {
+	t.enter("sorelabel", so.ID)
+	ret := t.macSocketCheckRelabel(t.proc.Cred, so)
+	if ret == OK {
+		t.site("MS:sorelabel", t.proc.Cred.ID, so.ID)
+		so.Label = label
+	}
+	t.exit("sorelabel", core.Value(ret), so.ID)
+	return ret
+}
+
+// Socket fileops.
+
+func sooRead(t *Thread, fp *File, n int64) int64 {
+	t.enter("soo_read", fp.ID)
+	ret := t.macSocketCheckReceive(t.proc.Cred, fp.Socket)
+	if ret == OK {
+		ret = fp.Socket.Proto.PrUsrreqs.PruSorecv(t, fp.Socket, t.proc.Cred, n)
+	}
+	t.exit("soo_read", core.Value(ret), fp.ID)
+	return ret
+}
+
+func sooWrite(t *Thread, fp *File, n int64) int64 {
+	t.enter("soo_write", fp.ID)
+	ret := t.macSocketCheckSend(t.proc.Cred, fp.Socket)
+	if ret == OK {
+		ret = fp.Socket.Proto.PrUsrreqs.PruSosend(t, fp.Socket, t.proc.Cred, n)
+	}
+	t.exit("soo_write", core.Value(ret), fp.ID)
+	return ret
+}
+
+func sooClose(t *Thread, fp *File) int64 {
+	t.enter("soo_close", fp.ID)
+	fp.Socket.State = 0
+	t.exit("soo_close", 0, fp.ID)
+	return OK
+}

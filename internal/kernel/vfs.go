@@ -1,0 +1,284 @@
+package kernel
+
+import "tesla/internal/core"
+
+// Vnode is a VFS node. Ops is the per-filesystem operation table — the
+// function-pointer indirection that separates access-control checks from
+// the code they govern (fig. 3) and defeats simple static analysis.
+type Vnode struct {
+	ID    core.Value
+	Path  string
+	Label int64
+	Data  []byte
+	Mode  int64
+	Owner int64
+	// ExtAttrs holds extended attributes; ACLs are stored in one of them
+	// and accessed by UFS itself via vn_rdwr, requiring different MAC
+	// enforcement depending on the code path (§3.5.2).
+	ExtAttrs map[string][]byte
+	Ops      *VnodeOps
+	Dir      bool
+	Children []string
+	refs     int
+}
+
+// VnodeOps is the vnode operation table (struct vop_vector).
+type VnodeOps struct {
+	Open    func(t *Thread, vp *Vnode, mode int64) int64
+	Read    func(t *Thread, vp *Vnode, n int64) int64
+	Write   func(t *Thread, vp *Vnode, n int64) int64
+	Readdir func(t *Thread, vp *Vnode) int64
+	Setattr func(t *Thread, vp *Vnode, mode int64) int64
+	Getattr func(t *Thread, vp *Vnode) int64
+}
+
+type filesystem struct {
+	k     *Kernel
+	nodes map[string]*Vnode
+	ufs   *VnodeOps
+}
+
+func newFilesystem(k *Kernel) *filesystem {
+	fs := &filesystem{k: k, nodes: map[string]*Vnode{}}
+	fs.ufs = &VnodeOps{
+		Open:    ufsOpen,
+		Read:    ffsRead,
+		Write:   ffsWrite,
+		Readdir: ufsReaddir,
+		Setattr: ufsSetattr,
+		Getattr: ufsGetattr,
+	}
+	root := fs.mknode("/", true)
+	root.Label = 0
+	return fs
+}
+
+func (fs *filesystem) mknode(path string, dir bool) *Vnode {
+	vp := &Vnode{
+		ID:       fs.k.id(),
+		Path:     path,
+		Ops:      fs.ufs,
+		Dir:      dir,
+		ExtAttrs: map[string][]byte{},
+		refs:     1,
+	}
+	fs.nodes[path] = vp
+	return vp
+}
+
+// lookup resolves a path, performing the MAC lookup check against the
+// containing directory.
+func (t *Thread) lookup(path string, create bool) (*Vnode, int64) {
+	t.enter("namei", core.Value(len(path)))
+	defer t.exit("namei", 0, core.Value(len(path)))
+	root := t.k.fs.nodes["/"]
+	if err := t.macVnodeCheck("mac_vnode_check_lookup", t.proc.Cred, root); err != OK {
+		return nil, err
+	}
+	t.site("MF:namei", root.ID)
+	vp, ok := t.k.fs.nodes[path]
+	if !ok {
+		if !create {
+			return nil, ENOENT
+		}
+		if err := t.macVnodeCheck("mac_vnode_check_create", t.proc.Cred, root); err != OK {
+			return nil, err
+		}
+		t.site("MF:create", root.ID)
+		vp = t.k.fs.mknode(path, false)
+		root.Children = append(root.Children, path)
+	}
+	return vp, OK
+}
+
+// OpenKind distinguishes the open-like operations that each carry their own
+// MAC check: regular opens, binary execution and kernel-module loading
+// (§3.5.2: “we initially believed that mac_vnode_check_open authorised all
+// file-system level open operations, and quickly discovered that different
+// checks handled other open-like operations”).
+type OpenKind int
+
+const (
+	OpenNormal OpenKind = iota
+	OpenExec
+	OpenKldload
+)
+
+// vnOpen is the VFS-level open path: the appropriate MAC check, then the
+// filesystem's VOP_OPEN through the operation table.
+func (t *Thread) vnOpen(path string, kind OpenKind, create bool) (*Vnode, int64) {
+	t.enter("vn_open", core.Value(kind))
+	defer t.exit("vn_open", 0, core.Value(kind))
+	vp, err := t.lookup(path, create)
+	if err != OK {
+		return nil, err
+	}
+	switch kind {
+	case OpenExec:
+		if err := t.macVnodeCheck("mac_vnode_check_exec", t.proc.Cred, vp); err != OK {
+			return nil, err
+		}
+	case OpenKldload:
+		if err := t.macKldCheckLoad(t.proc.Cred, vp); err != OK {
+			return nil, err
+		}
+	default:
+		if err := t.macVnodeCheck("mac_vnode_check_open", t.proc.Cred, vp); err != OK {
+			return nil, err
+		}
+	}
+	t.site("MF:vn_open", vp.ID)
+	t.lock("vnode")
+	ret := vp.Ops.Open(t, vp, 0)
+	t.unlock("vnode")
+	if ret != OK {
+		return nil, ret
+	}
+	vp.refs++
+	return vp, OK
+}
+
+// vnRdwr is the file-system independent read/write entry point. With
+// IO_NOMACCHECK it is used “internally” (e.g. by UFS itself to read ACLs)
+// and MAC checks are deliberately skipped — TESLA assertions must not
+// expect them on this path (fig. 7).
+func (t *Thread) vnRdwr(vp *Vnode, write bool, n int64, flags int64) int64 {
+	t.enter("vn_rdwr", vp.ID, core.Value(flags))
+	ret := int64(OK)
+	if flags&IO_NOMACCHECK == 0 {
+		if write {
+			ret = t.macVnodeCheck("mac_vnode_check_write", t.proc.Cred, vp)
+		} else {
+			ret = t.macVnodeCheck("mac_vnode_check_read", t.proc.Cred, vp)
+		}
+	}
+	if ret == OK {
+		if write {
+			ret = vp.Ops.Write(t, vp, n)
+		} else {
+			ret = vp.Ops.Read(t, vp, n)
+		}
+	}
+	t.exit("vn_rdwr", core.Value(ret), vp.ID, core.Value(flags))
+	return ret
+}
+
+// UFS/FFS implementations — the object layer whose assertions refer to
+// checks performed in the higher-level VFS framework.
+
+func ufsOpen(t *Thread, vp *Vnode, mode int64) int64 {
+	t.enter("ufs_open", vp.ID)
+	// Fig. 7: across open, exec and kldload paths, some open-like
+	// authorisation must already have happened.
+	t.site("MF:ufs_open", vp.ID)
+	t.exit("ufs_open", 0, vp.ID)
+	return OK
+}
+
+func ffsRead(t *Thread, vp *Vnode, n int64) int64 {
+	t.enter("ffs_read", vp.ID)
+	// Fig. 7: reads reached via ufs_readdir or via vn_rdwr with
+	// IO_NOMACCHECK are exempt; all others need mac_vnode_check_read.
+	t.site("MF:ffs_read", vp.ID)
+	var sum int64
+	for _, b := range vp.Data {
+		sum += int64(b)
+	}
+	_ = sum
+	t.exit("ffs_read", core.Value(n), vp.ID)
+	return OK
+}
+
+func ffsWrite(t *Thread, vp *Vnode, n int64) int64 {
+	t.enter("ffs_write", vp.ID)
+	t.site("MF:ffs_write", vp.ID)
+	if int64(len(vp.Data)) < n {
+		vp.Data = append(vp.Data, make([]byte, n-int64(len(vp.Data)))...)
+	}
+	t.exit("ffs_write", core.Value(n), vp.ID)
+	return OK
+}
+
+// ufsReaddir reads directory entries; one instance occurs within the file
+// system without passing back through VFS — it calls ffs_read directly,
+// the incallstack(ufs_readdir) case.
+func ufsReaddir(t *Thread, vp *Vnode) int64 {
+	t.enter("ufs_readdir", vp.ID)
+	t.site("MF:ufs_readdir", vp.ID)
+	t.site("MF:ufs_readdir_cred", t.proc.Cred.ID, vp.ID)
+	ret := ffsRead(t, vp, 64)
+	t.exit("ufs_readdir", core.Value(ret), vp.ID)
+	return ret
+}
+
+func ufsSetattr(t *Thread, vp *Vnode, mode int64) int64 {
+	t.enter("ufs_setattr", vp.ID)
+	t.site("MF:ufs_setattr", vp.ID)
+	t.site("MF:ufs_setattr_cred", t.proc.Cred.ID, vp.ID)
+	vp.Mode = mode
+	t.exit("ufs_setattr", 0, vp.ID)
+	return OK
+}
+
+func ufsGetattr(t *Thread, vp *Vnode) int64 {
+	t.enter("ufs_getattr", vp.ID)
+	t.site("MF:ufs_getattr", vp.ID)
+	t.site("MF:ufs_getattr_cred", t.proc.Cred.ID, vp.ID)
+	t.exit("ufs_getattr", 0, vp.ID)
+	return OK
+}
+
+// aclRead is UFS implementing access-control lists on top of extended
+// attributes: an internal read through vn_rdwr with MAC disabled.
+func (t *Thread) aclRead(vp *Vnode) int64 {
+	t.enter("ufs_getacl", vp.ID)
+	t.site("MF:ufs_getacl", vp.ID)
+	t.site("MF:ufs_getacl_cred", t.proc.Cred.ID, vp.ID)
+	ret := t.extattrGet(vp, "posix1e.acl")
+	t.exit("ufs_getacl", core.Value(ret), vp.ID)
+	return ret
+}
+
+func (t *Thread) aclWrite(vp *Vnode) int64 {
+	t.enter("ufs_setacl", vp.ID)
+	t.site("MF:ufs_setacl", vp.ID)
+	t.site("MF:ufs_setacl_cred", t.proc.Cred.ID, vp.ID)
+	ret := t.extattrSet(vp, "posix1e.acl", []byte{1})
+	t.exit("ufs_setacl", core.Value(ret), vp.ID)
+	return ret
+}
+
+// extattrGet/Set are the extended-attribute implementations, reachable via
+// system calls as well as from UFS's ACL code.
+func (t *Thread) extattrGet(vp *Vnode, name string) int64 {
+	t.enter("ufs_getextattr", vp.ID)
+	t.site("MF:ufs_getextattr", vp.ID)
+	_ = vp.ExtAttrs[name]
+	ret := t.vnRdwr(vp, false, 16, IO_NOMACCHECK)
+	t.exit("ufs_getextattr", core.Value(ret), vp.ID)
+	return ret
+}
+
+func (t *Thread) extattrSet(vp *Vnode, name string, val []byte) int64 {
+	t.enter("ufs_setextattr", vp.ID)
+	t.site("MF:ufs_setextattr", vp.ID)
+	vp.ExtAttrs[name] = val
+	ret := t.vnRdwr(vp, true, 16, IO_NOMACCHECK)
+	t.exit("ufs_setextattr", core.Value(ret), vp.ID)
+	return ret
+}
+
+// trapPfault is the page-fault handler: file-system I/O initiated by
+// virtual memory rather than a system call, with its own TESLA bound
+// (§3.5.2: “we are concerned with certain other cases, such as file-system
+// I/O initiated by virtual-memory page faults”).
+func (t *Thread) trapPfault(vp *Vnode) int64 {
+	t.enter("trap_pfault", vp.ID)
+	ret := t.macVnodeCheck("mac_vnode_check_read", t.proc.Cred, vp)
+	if ret == OK {
+		t.site("MF:pfault_read", vp.ID)
+		ret = vp.Ops.Read(t, vp, 4096)
+	}
+	t.exit("trap_pfault", core.Value(ret), vp.ID)
+	return ret
+}

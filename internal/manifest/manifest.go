@@ -1,0 +1,131 @@
+// Package manifest implements the on-disk automata descriptions of §4.1:
+// parsed assertions are stored in a file with a .tesla extension, one per
+// source file, and combined into a larger file describing all parts of the
+// program that may need instrumentation. The paper serialises with Protocol
+// Buffers; this implementation uses JSON (the format is incidental) and
+// stores each assertion in its printed macro form, which round-trips
+// through the spec parser.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"tesla/internal/automata"
+	"tesla/internal/spec"
+)
+
+// Ext is the conventional manifest file extension.
+const Ext = ".tesla"
+
+// Entry is one assertion.
+type Entry struct {
+	// Name identifies the assertion (conventionally file:line).
+	Name string `json:"name"`
+	// Text is the printed assertion, reparsable by internal/spec.
+	Text string `json:"text"`
+}
+
+// File is the manifest for one source file, or a combined program manifest.
+type File struct {
+	// Source names the originating compilation unit ("" for combined).
+	Source     string  `json:"source,omitempty"`
+	Assertions []Entry `json:"assertions"`
+}
+
+// FromAssertions builds a manifest from parsed assertions.
+func FromAssertions(source string, as []*spec.Assertion) *File {
+	f := &File{Source: source}
+	for _, a := range as {
+		f.Assertions = append(f.Assertions, Entry{Name: a.Name, Text: a.String()})
+	}
+	return f
+}
+
+// Parse reparses every entry into assertion trees.
+func (f *File) Parse() ([]*spec.Assertion, error) {
+	var out []*spec.Assertion
+	for _, e := range f.Assertions {
+		a, err := spec.Parse(e.Name, e.Text, nil)
+		if err != nil {
+			return nil, fmt.Errorf("manifest: %s: %w", e.Name, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Compile parses and compiles every assertion to an automaton, in manifest
+// order (the order instrumented code indexes them by).
+func (f *File) Compile() ([]*automata.Automaton, error) {
+	as, err := f.Parse()
+	if err != nil {
+		return nil, err
+	}
+	var autos []*automata.Automaton
+	for _, a := range as {
+		auto, err := automata.Compile(a)
+		if err != nil {
+			return nil, err
+		}
+		autos = append(autos, auto)
+	}
+	return autos, nil
+}
+
+// Combine merges per-file manifests into one program manifest. Assertions
+// in any file can name events defined in any other file, so instrumentation
+// always works from the combined manifest (§4.1) — which is also why
+// changing one file's assertions re-instruments every module (§5.1).
+func Combine(files ...*File) (*File, error) {
+	out := &File{}
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, e := range f.Assertions {
+			if seen[e.Name] {
+				return nil, fmt.Errorf("manifest: duplicate assertion %q", e.Name)
+			}
+			seen[e.Name] = true
+			out.Assertions = append(out.Assertions, e)
+		}
+	}
+	return out, nil
+}
+
+// Encode writes the manifest as JSON.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads a manifest from JSON.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	return &f, nil
+}
+
+// Save writes the manifest to path.
+func (f *File) Save(path string) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return f.Encode(w)
+}
+
+// Load reads a manifest from path.
+func Load(path string) (*File, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return Decode(r)
+}

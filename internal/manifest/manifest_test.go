@@ -1,0 +1,119 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tesla/internal/spec"
+)
+
+func sample() *File {
+	return FromAssertions("mac.c", []*spec.Assertion{
+		spec.SyscallPreviously("mac.c:10",
+			spec.Call("mac_socket_check_poll", spec.AnyPtr(), spec.Var("so")).ReturnsInt(0)),
+		spec.Within("mac.c:20", "trap_pfault",
+			spec.Eventually(spec.Call("audit", spec.Var("vp")))),
+	})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	var sb strings.Builder
+	if err := m.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatalf("round trip changed manifest:\n%+v\n%+v", m, m2)
+	}
+}
+
+func TestParseRecoversAssertions(t *testing.T) {
+	m := sample()
+	as, err := m.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("assertions = %d", len(as))
+	}
+	if as[0].Name != "mac.c:10" || as[0].Bound.Begin.Fn != spec.SyscallFn {
+		t.Fatalf("assertion 0 = %+v", as[0])
+	}
+	if as[1].Bound.Begin.Fn != "trap_pfault" {
+		t.Fatalf("assertion 1 = %+v", as[1])
+	}
+}
+
+func TestCompile(t *testing.T) {
+	autos, err := sample().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(autos) != 2 {
+		t.Fatalf("automata = %d", len(autos))
+	}
+	if autos[0].Name != "mac.c:10" {
+		t.Fatalf("name = %q", autos[0].Name)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := FromAssertions("a.c", []*spec.Assertion{
+		spec.SyscallPreviously("a.c:1", spec.Call("f").ReturnsInt(0)),
+	})
+	b := FromAssertions("b.c", []*spec.Assertion{
+		spec.SyscallPreviously("b.c:1", spec.Call("g").ReturnsInt(0)),
+	})
+	c, err := Combine(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Assertions) != 2 {
+		t.Fatalf("combined = %d", len(c.Assertions))
+	}
+	if _, err := Combine(a, a); err == nil {
+		t.Fatal("duplicate names must fail")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog"+Ext)
+	m := sample()
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatal("save/load changed manifest")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.tesla")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{nope")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+	bad := &File{Assertions: []Entry{{Name: "x", Text: "NOT_A_MACRO(y)"}}}
+	if _, err := bad.Parse(); err == nil {
+		t.Fatal("unparsable entry must fail")
+	}
+	if _, err := bad.Compile(); err == nil {
+		t.Fatal("compile of unparsable entry must fail")
+	}
+}

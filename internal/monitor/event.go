@@ -1,0 +1,135 @@
+// Package monitor is the event-translation layer between instrumented
+// programs and libtesla (internal/core). The instrumenter of §4.2 generates
+// event translators that (1) check an event's static parameters and (2) on
+// success build a variable–value key and call tesla_update_state; this
+// package performs both tasks at run time for every automaton that
+// references an event, and implements the per-context lazy-initialisation
+// optimisation of §5.2.2 (figure 13).
+//
+// Go substrates (the kernel, SSL, GUI simulators) call the Thread methods
+// directly where instrumented C code would call generated hooks; the IR
+// interpreter (internal/vm) drives the same methods from instrumented code.
+package monitor
+
+import (
+	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/spec"
+)
+
+// Memory resolves pointer indirection for ANY/&x patterns that match the
+// value an argument points at. The VM supplies its heap; Go substrates can
+// supply a lookup over their object tables. A nil Memory makes indirect
+// patterns match the raw pointer value.
+type Memory interface {
+	Load(addr core.Value) (core.Value, bool)
+}
+
+// matchFunc checks a function-event symbol against observed arguments
+// (and, for exit events, the return value), producing the key the event
+// binds. ok is false if any static check fails.
+func matchFunc(sym *automata.Symbol, args []core.Value, ret core.Value, hasRet bool, mem Memory) (core.Key, bool) {
+	if len(args) < len(sym.Args) {
+		return core.AnyKey, false
+	}
+	key := core.AnyKey
+	bind := func(slot int, v core.Value) bool {
+		if key.Bound(slot) && key.Data[slot] != v {
+			return false // same variable matched two different values
+		}
+		key = key.Set(slot, v)
+		return true
+	}
+	for i, p := range sym.Args {
+		v := resolve(args[i], p.Indirect, mem)
+		switch p.Kind {
+		case spec.PatVar:
+			// Captured below via sym.Captures; bind here for the
+			// duplicate-variable consistency check.
+			slot := slotOf(sym, automata.CapArg, i)
+			if slot >= 0 && !bind(slot, v) {
+				return core.AnyKey, false
+			}
+		default:
+			if !p.Matches(int64(v)) {
+				return core.AnyKey, false
+			}
+		}
+	}
+	if sym.Ret != nil {
+		if !hasRet {
+			return core.AnyKey, false
+		}
+		v := resolve(ret, sym.Ret.Indirect, mem)
+		if sym.Ret.Kind == spec.PatVar {
+			slot := slotOf(sym, automata.CapRet, 0)
+			if slot >= 0 && !bind(slot, v) {
+				return core.AnyKey, false
+			}
+		} else if !sym.Ret.Matches(int64(v)) {
+			return core.AnyKey, false
+		}
+	}
+	return key, true
+}
+
+// matchField checks a field-assignment symbol against an observed store.
+func matchField(sym *automata.Symbol, target core.Value, op spec.AssignOp, value core.Value, mem Memory) (core.Key, bool) {
+	if sym.AssignOp != op {
+		return core.AnyKey, false
+	}
+	key := core.AnyKey
+	if p := sym.Target; p.Kind == spec.PatVar {
+		slot := slotOf(sym, automata.CapTarget, 0)
+		if slot >= 0 {
+			key = key.Set(slot, target)
+		}
+	} else if !p.Matches(int64(target)) {
+		return core.AnyKey, false
+	}
+	if op != spec.OpIncr {
+		if p := sym.Value; p.Kind == spec.PatVar {
+			slot := slotOf(sym, automata.CapValue, 0)
+			if slot >= 0 {
+				if key.Bound(slot) && key.Data[slot] != value {
+					return core.AnyKey, false
+				}
+				key = key.Set(slot, value)
+			}
+		} else if !p.Matches(int64(value)) {
+			return core.AnyKey, false
+		}
+	}
+	return key, true
+}
+
+// siteKey builds the key an assertion-site event binds: every scope
+// variable, in slot order.
+func siteKey(auto *automata.Automaton, vals []core.Value) core.Key {
+	key := core.AnyKey
+	for i := range auto.Vars {
+		if i < len(vals) {
+			key = key.Set(i, vals[i])
+		}
+	}
+	return key
+}
+
+func slotOf(sym *automata.Symbol, src automata.CapSrc, index int) int {
+	for _, c := range sym.Captures {
+		if c.Src == src && (src == automata.CapRet || src == automata.CapTarget || src == automata.CapValue || c.Index == index) {
+			return c.Slot
+		}
+	}
+	return -1
+}
+
+func resolve(v core.Value, indirect bool, mem Memory) core.Value {
+	if !indirect || mem == nil {
+		return v
+	}
+	if pointee, ok := mem.Load(v); ok {
+		return pointee
+	}
+	return v
+}

@@ -1,0 +1,557 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/spec"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Handler receives lifecycle notifications (nil = discard).
+	Handler core.Handler
+	// Memory resolves indirect (&x) patterns (nil = raw values).
+	Memory Memory
+	// FailFast propagates the first violation as an error from the
+	// Thread event methods (TESLA's default fail-stop behaviour).
+	FailFast bool
+	// Naive disables the lazy-initialisation optimisation: every bound
+	// event does work on every automaton sharing that bound, the
+	// behaviour whose cost figure 13 quantifies. The optimised (default)
+	// mode keeps a per-context record of common initialisation and
+	// cleanup events and initialises instances lazily when they receive
+	// their first non-initialisation event (§5.2.2).
+	Naive bool
+}
+
+// symRef locates one symbol of one automaton.
+type symRef struct {
+	idx int // automaton index
+	sym *automata.Symbol
+}
+
+// Monitor owns the compiled automata, their shared global store and the
+// event-dispatch indexes. Create threads with NewThread; each simulated
+// thread of the monitored program must use its own Thread.
+type Monitor struct {
+	opts   Options
+	autos  []*automata.Automaton
+	global *core.Store
+
+	callIdx   map[string][]symRef
+	retIdx    map[string][]symRef
+	msgIdx    map[string][]symRef
+	msgRetIdx map[string][]symRef
+	fieldIdx  map[string][]symRef
+	siteIdx   map[string]symRef
+
+	// boundSlot maps a Bound (begin/end event pair) to a dense index;
+	// autoBound gives each automaton's bound slot. The four dispatch maps
+	// say which slots begin/end on a given function's call or return.
+	boundSlot map[string]int
+	autoBound []int
+	beginCall map[string][]int
+	beginRet  map[string][]int
+	endCall   map[string][]int
+	endRet    map[string][]int
+
+	// globalLazy tracks bound epochs for global-context automata,
+	// guarded by muGlobal (the analogue of the store's explicit
+	// synchronisation for the global context).
+	muGlobal   sync.Mutex
+	globalLazy lazyState
+}
+
+// lazyState is the per-context record of initialisation/cleanup events.
+type lazyState struct {
+	epoch     []uint64 // per bound slot; bumped at bound entry
+	inBound   []bool   // per bound slot
+	lastEpoch []uint64 // per automaton; epoch at which init materialised
+	touched   [][]int  // per bound slot: automata initialised this epoch
+}
+
+func newLazyState(bounds, autos int) lazyState {
+	return lazyState{
+		epoch:     make([]uint64, bounds),
+		inBound:   make([]bool, bounds),
+		lastEpoch: make([]uint64, autos),
+		touched:   make([][]int, bounds),
+	}
+}
+
+// New creates a monitor for the given compiled automata.
+func New(opts Options, autos ...*automata.Automaton) (*Monitor, error) {
+	m := &Monitor{
+		opts:      opts,
+		global:    core.NewStore(core.Global, opts.Handler),
+		callIdx:   map[string][]symRef{},
+		retIdx:    map[string][]symRef{},
+		msgIdx:    map[string][]symRef{},
+		msgRetIdx: map[string][]symRef{},
+		fieldIdx:  map[string][]symRef{},
+		siteIdx:   map[string]symRef{},
+		boundSlot: map[string]int{},
+		beginCall: map[string][]int{},
+		beginRet:  map[string][]int{},
+		endCall:   map[string][]int{},
+		endRet:    map[string][]int{},
+	}
+	m.global.FailFast = opts.FailFast
+	for _, a := range autos {
+		if err := m.add(a); err != nil {
+			return nil, err
+		}
+	}
+	m.globalLazy = newLazyState(len(m.boundSlot), len(m.autos))
+	return m, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(opts Options, autos ...*automata.Automaton) *Monitor {
+	m, err := New(opts, autos...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BoundSlots assigns a dense slot index to each distinct bound (begin/end
+// event pair) across the automata, in first-appearance order. Both the
+// Monitor and the instrumenter derive slot numbers from this function, so
+// compiled-in hook indices agree with the runtime.
+func BoundSlots(autos []*automata.Automaton) map[string]int {
+	slots := map[string]int{}
+	for _, a := range autos {
+		k := a.Spec.Bound.String()
+		if _, ok := slots[k]; !ok {
+			slots[k] = len(slots)
+		}
+	}
+	return slots
+}
+
+func (m *Monitor) add(a *automata.Automaton) error {
+	idx := len(m.autos)
+	m.autos = append(m.autos, a)
+	if _, dup := m.siteIdx[a.Name]; dup {
+		return fmt.Errorf("monitor: duplicate automaton name %q", a.Name)
+	}
+
+	bound := a.Spec.Bound
+	boundKey := bound.String()
+	slot, ok := m.boundSlot[boundKey]
+	if !ok {
+		slot = len(m.boundSlot)
+		m.boundSlot[boundKey] = slot
+		if bound.Begin.Kind == spec.StaticCall {
+			m.beginCall[bound.Begin.Fn] = append(m.beginCall[bound.Begin.Fn], slot)
+		} else {
+			m.beginRet[bound.Begin.Fn] = append(m.beginRet[bound.Begin.Fn], slot)
+		}
+		if bound.End.Kind == spec.StaticCall {
+			m.endCall[bound.End.Fn] = append(m.endCall[bound.End.Fn], slot)
+		} else {
+			m.endRet[bound.End.Fn] = append(m.endRet[bound.End.Fn], slot)
+		}
+	}
+	m.autoBound = append(m.autoBound, slot)
+
+	for _, s := range a.Symbols {
+		ref := symRef{idx: idx, sym: s}
+		switch s.Kind {
+		case automata.KindBoundBegin, automata.KindBoundEnd, automata.KindInCallStack:
+			// Bound events dispatch via the bound slot; incallstack
+			// is synthesised at the assertion site.
+		case automata.KindSite:
+			m.siteIdx[a.Name] = ref
+		case automata.KindFuncEntry:
+			if s.ObjC {
+				m.msgIdx[s.Fn] = append(m.msgIdx[s.Fn], ref)
+			} else {
+				m.callIdx[s.Fn] = append(m.callIdx[s.Fn], ref)
+			}
+		case automata.KindFuncExit:
+			if s.ObjC {
+				m.msgRetIdx[s.Fn] = append(m.msgRetIdx[s.Fn], ref)
+			} else {
+				m.retIdx[s.Fn] = append(m.retIdx[s.Fn], ref)
+			}
+		case automata.KindFieldAssign:
+			k := s.Struct + "." + s.Field
+			m.fieldIdx[k] = append(m.fieldIdx[k], ref)
+		}
+	}
+
+	if a.Spec.Context == spec.Global {
+		m.global.Register(a.Class)
+	}
+	return nil
+}
+
+// Automata returns the monitored automata.
+func (m *Monitor) Automata() []*automata.Automaton { return m.autos }
+
+// GlobalStore exposes the shared global-context store.
+func (m *Monitor) GlobalStore() *core.Store { return m.global }
+
+// InstrumentedFns reports every function name the monitor observes, for
+// instrumenter planning and coverage reports.
+func (m *Monitor) InstrumentedFns() map[string]bool {
+	out := map[string]bool{}
+	for fn := range m.callIdx {
+		out[fn] = true
+	}
+	for fn := range m.retIdx {
+		out[fn] = true
+	}
+	for _, idx := range []map[string][]int{m.beginCall, m.beginRet, m.endCall, m.endRet} {
+		for fn := range idx {
+			out[fn] = true
+		}
+	}
+	return out
+}
+
+// Thread is one simulated thread's view of the monitor: its per-thread
+// store, call stack and lazy-init bookkeeping. A Thread must not be used
+// concurrently; cross-thread behaviour belongs to global-context automata.
+type Thread struct {
+	m     *Monitor
+	store *core.Store
+	stack []string
+	lazy  lazyState
+
+	// StackQuery, when set, answers incallstack queries instead of the
+	// thread's own call stack — the IR interpreter supplies its frame
+	// stack here so only instrumented events need explicit hooks.
+	StackQuery func(fn string) bool
+}
+
+// NewThread creates a thread context, registering every per-thread
+// automaton class in a fresh per-thread store.
+func (m *Monitor) NewThread() *Thread {
+	th := &Thread{
+		m:     m,
+		store: core.NewStore(core.PerThread, m.opts.Handler),
+		lazy:  newLazyState(len(m.boundSlot), len(m.autos)),
+	}
+	th.store.FailFast = m.opts.FailFast
+	for _, a := range m.autos {
+		if a.Spec.Context != spec.Global {
+			th.store.Register(a.Class)
+		}
+	}
+	return th
+}
+
+// Store exposes the thread's per-thread store (introspection/tests).
+func (th *Thread) Store() *core.Store { return th.store }
+
+// storeFor picks the store an automaton's events go to.
+func (th *Thread) storeFor(idx int) *core.Store {
+	if th.m.autos[idx].Spec.Context == spec.Global {
+		return th.m.global
+	}
+	return th.store
+}
+
+// lazyFor returns the lazy bookkeeping context for an automaton, plus the
+// mutex guarding it (nil for per-thread automata).
+func (th *Thread) lazyFor(idx int) (*lazyState, *sync.Mutex) {
+	if th.m.autos[idx].Spec.Context == spec.Global {
+		return &th.m.globalLazy, &th.m.muGlobal
+	}
+	return &th.lazy, nil
+}
+
+// Call reports entry into fn with the given arguments: it drives «init»
+// transitions for automata bounded by fn and entry-event symbols naming fn,
+// and pushes fn onto the thread's call stack for incallstack patterns.
+func (th *Thread) Call(fn string, args ...core.Value) error {
+	th.stack = append(th.stack, fn)
+	var first error
+	for _, slot := range th.m.beginCall[fn] {
+		if err := th.boundBegin(slot); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, ref := range th.m.callIdx[fn] {
+		if key, ok := matchFunc(ref.sym, args, 0, false, th.m.opts.Memory); ok {
+			if err := th.deliver(ref, key); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, slot := range th.m.endCall[fn] {
+		if err := th.boundEnd(slot); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Return reports return from fn: exit-event symbols (which may constrain
+// arguments and the return value) and «cleanup» for automata bounded by fn.
+func (th *Thread) Return(fn string, ret core.Value, args ...core.Value) error {
+	var first error
+	for _, ref := range th.m.retIdx[fn] {
+		if key, ok := matchFunc(ref.sym, args, ret, true, th.m.opts.Memory); ok {
+			if err := th.deliver(ref, key); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, slot := range th.m.endRet[fn] {
+		if err := th.boundEnd(slot); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, slot := range th.m.beginRet[fn] {
+		if err := th.boundBegin(slot); err != nil && first == nil {
+			first = err
+		}
+	}
+	if n := len(th.stack); n > 0 && th.stack[n-1] == fn {
+		th.stack = th.stack[:n-1]
+	}
+	return first
+}
+
+// Send reports an Objective-C message send (selector with receiver).
+func (th *Thread) Send(selector string, receiver core.Value, args ...core.Value) error {
+	var first error
+	all := append([]core.Value{receiver}, args...)
+	for _, ref := range th.m.msgIdx[selector] {
+		if key, ok := matchFunc(ref.sym, all, 0, false, th.m.opts.Memory); ok {
+			if err := th.deliver(ref, key); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// SendReturn reports the return of an Objective-C message.
+func (th *Thread) SendReturn(selector string, ret core.Value, receiver core.Value, args ...core.Value) error {
+	var first error
+	all := append([]core.Value{receiver}, args...)
+	for _, ref := range th.m.msgRetIdx[selector] {
+		if key, ok := matchFunc(ref.sym, all, ret, true, th.m.opts.Memory); ok {
+			if err := th.deliver(ref, key); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Assign reports a structure-field assignment.
+func (th *Thread) Assign(structName, field string, target core.Value, op spec.AssignOp, value core.Value) error {
+	var first error
+	for _, ref := range th.m.fieldIdx[structName+"."+field] {
+		if key, ok := matchField(ref.sym, target, op, value, th.m.opts.Memory); ok {
+			if err := th.deliver(ref, key); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Site reports execution reaching the named assertion's site, with the
+// values of the assertion's scope variables in slot order. incallstack
+// branches are evaluated against the thread's current call stack first.
+func (th *Thread) Site(name string, vals ...core.Value) error {
+	ref, ok := th.m.siteIdx[name]
+	if !ok {
+		return fmt.Errorf("monitor: unknown assertion site %q", name)
+	}
+	auto := th.m.autos[ref.idx]
+	var first error
+	for _, s := range auto.Symbols {
+		if s.Kind == automata.KindInCallStack && th.InStack(s.Fn) {
+			if err := th.deliver(symRef{idx: ref.idx, sym: s}, core.AnyKey); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if err := th.deliver(ref, siteKey(auto, vals)); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// InStack reports whether fn is on the thread's call stack.
+func (th *Thread) InStack(fn string) bool {
+	if th.StackQuery != nil {
+		return th.StackQuery(fn)
+	}
+	for _, f := range th.stack {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// Deliver routes a pre-matched event — automaton autoIdx's symbol symID
+// with the captured values in capture order — to the right store. This is
+// the entry point for generated event translators (the IR instrumenter's
+// hooks): their static checks have already passed, so only the key remains
+// to be built.
+func (th *Thread) Deliver(autoIdx, symID int, vals ...core.Value) error {
+	if autoIdx < 0 || autoIdx >= len(th.m.autos) {
+		return fmt.Errorf("monitor: automaton index %d out of range", autoIdx)
+	}
+	auto := th.m.autos[autoIdx]
+	if symID < 0 || symID >= len(auto.Symbols) {
+		return fmt.Errorf("monitor: symbol %d out of range for %s", symID, auto.Name)
+	}
+	sym := auto.Symbols[symID]
+	key := core.AnyKey
+	for i, c := range sym.Captures {
+		if i < len(vals) {
+			key = key.Set(c.Slot, vals[i])
+		}
+	}
+	return th.deliver(symRef{idx: autoIdx, sym: sym}, key)
+}
+
+// SiteByIndex reports reaching automaton autoIdx's assertion site, firing
+// incallstack branches first (as Site does by name).
+func (th *Thread) SiteByIndex(autoIdx int, vals ...core.Value) error {
+	if autoIdx < 0 || autoIdx >= len(th.m.autos) {
+		return fmt.Errorf("monitor: automaton index %d out of range", autoIdx)
+	}
+	auto := th.m.autos[autoIdx]
+	var first error
+	for _, s := range auto.Symbols {
+		if s.Kind == automata.KindInCallStack && th.InStack(s.Fn) {
+			if err := th.deliver(symRef{idx: autoIdx, sym: s}, core.AnyKey); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	ref := symRef{idx: autoIdx, sym: auto.Site()}
+	if err := th.deliver(ref, siteKey(auto, vals)); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// AutoIndex returns the index of the named automaton, or -1.
+func (m *Monitor) AutoIndex(name string) int {
+	for i, a := range m.autos {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BoundBegin drives bound-slot entry directly (IR hook entry point).
+func (th *Thread) BoundBegin(slot int) error { return th.boundBegin(slot) }
+
+// BoundEnd drives bound-slot exit directly (IR hook entry point).
+func (th *Thread) BoundEnd(slot int) error { return th.boundEnd(slot) }
+
+// deliver routes a matched event to the automaton's store, materialising a
+// lazy «init» first if needed.
+func (th *Thread) deliver(ref symRef, key core.Key) error {
+	auto := th.m.autos[ref.idx]
+	store := th.storeFor(ref.idx)
+	if !th.m.opts.Naive {
+		ls, mu := th.lazyFor(ref.idx)
+		if mu != nil {
+			mu.Lock()
+		}
+		slot := th.m.autoBound[ref.idx]
+		needInit := ls.inBound[slot] && ls.lastEpoch[ref.idx] != ls.epoch[slot]
+		if needInit {
+			ls.lastEpoch[ref.idx] = ls.epoch[slot]
+			ls.touched[slot] = append(ls.touched[slot], ref.idx)
+		}
+		if mu != nil {
+			mu.Unlock()
+		}
+		if needInit {
+			begin := auto.BoundBegin()
+			if err := store.UpdateState(auto.Class, begin.Name, begin.Flags, core.AnyKey, auto.Trans[begin.ID]); err != nil {
+				return err
+			}
+		}
+	}
+	return store.UpdateState(auto.Class, ref.sym.Name, ref.sym.Flags, key, auto.Trans[ref.sym.ID])
+}
+
+// boundBegin handles entry into a bound function. In naive mode every
+// automaton sharing the bound does an «init» immediately; in optimised mode
+// the context merely bumps the bound's epoch — O(1) regardless of how many
+// automata share the bound.
+func (th *Thread) boundBegin(slot int) error {
+	var first error
+	if th.m.opts.Naive {
+		for idx, a := range th.m.autos {
+			if th.m.autoBound[idx] != slot {
+				continue
+			}
+			begin := a.BoundBegin()
+			store := th.storeFor(idx)
+			if err := store.UpdateState(a.Class, begin.Name, begin.Flags, core.AnyKey, a.Trans[begin.ID]); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	bump := func(ls *lazyState) {
+		ls.epoch[slot]++
+		ls.inBound[slot] = true
+	}
+	bump(&th.lazy)
+	th.m.muGlobal.Lock()
+	bump(&th.m.globalLazy)
+	th.m.muGlobal.Unlock()
+	return nil
+}
+
+// boundEnd handles return from a bound function: «cleanup» on every
+// automaton that is live in this bound (all of them in naive mode, only the
+// touched ones in optimised mode).
+func (th *Thread) boundEnd(slot int) error {
+	var first error
+	cleanup := func(idx int) {
+		a := th.m.autos[idx]
+		end := a.BoundEnd()
+		store := th.storeFor(idx)
+		if err := store.UpdateState(a.Class, end.Name, end.Flags, core.AnyKey, a.Trans[end.ID]); err != nil && first == nil {
+			first = err
+		}
+	}
+	if th.m.opts.Naive {
+		for idx := range th.m.autos {
+			if th.m.autoBound[idx] == slot {
+				cleanup(idx)
+			}
+		}
+		return first
+	}
+	flush := func(ls *lazyState) []int {
+		touched := ls.touched[slot]
+		ls.touched[slot] = ls.touched[slot][:0]
+		ls.inBound[slot] = false
+		return touched
+	}
+	for _, idx := range flush(&th.lazy) {
+		cleanup(idx)
+	}
+	th.m.muGlobal.Lock()
+	globalTouched := append([]int(nil), flush(&th.m.globalLazy)...)
+	th.m.muGlobal.Unlock()
+	for _, idx := range globalTouched {
+		cleanup(idx)
+	}
+	return first
+}

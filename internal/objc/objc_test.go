@@ -1,0 +1,114 @@
+package objc
+
+import (
+	"testing"
+
+	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/spec"
+)
+
+func probe(rt *Runtime) *Object {
+	cls := NewClass("Probe", nil)
+	cls.AddMethod("ping", func(_ *Runtime, _ *Object, args ...core.Value) core.Value {
+		if len(args) > 0 {
+			return args[0] + 1
+		}
+		return 1
+	})
+	return rt.NewObject(cls)
+}
+
+func TestDispatchAndCounting(t *testing.T) {
+	rt := NewRuntime(NoTracing)
+	obj := probe(rt)
+	if got := rt.MsgSend(obj, "ping", 41); got != 42 {
+		t.Fatalf("ping(41) = %d", got)
+	}
+	if rt.MsgCount != 1 {
+		t.Fatalf("MsgCount = %d", rt.MsgCount)
+	}
+}
+
+func TestMethodReplacementAtRuntime(t *testing.T) {
+	// §4.3: methods can be replaced at run time, defeating static
+	// callee-side instrumentation.
+	rt := NewRuntime(NoTracing)
+	obj := probe(rt)
+	obj.Class.AddMethod("ping", func(_ *Runtime, _ *Object, _ ...core.Value) core.Value {
+		return 999
+	})
+	if got := rt.MsgSend(obj, "ping", 41); got != 999 {
+		t.Fatalf("replaced method: %d", got)
+	}
+}
+
+func TestReturnHooks(t *testing.T) {
+	rt := NewRuntime(Interposed)
+	obj := probe(rt)
+	var order []string
+	rt.Interpose("ping", func(*Object, string, []core.Value) { order = append(order, "enter") })
+	rt.InterposeReturn("ping", func(*Object, string, []core.Value) { order = append(order, "exit") })
+	rt.MsgSend(obj, "ping")
+	if len(order) != 2 || order[0] != "enter" || order[1] != "exit" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestInterposeTESLAForwardsEvents(t *testing.T) {
+	auto := automata.MustCompile(spec.Within("objc-test", "loop",
+		spec.Previously(spec.AtLeast(1, spec.Msg(spec.Any("id"), "ping")))))
+	h := core.NewCountingHandler()
+	m := monitor.MustNew(monitor.Options{Handler: h}, auto)
+	th := m.NewThread()
+
+	rt := NewRuntime(TESLA)
+	obj := probe(rt)
+	rt.InterposeTESLA(th, []string{"ping"}, []string{"ping"})
+
+	th.Call("loop")
+	rt.MsgSend(obj, "ping", 1)
+	th.Site("objc-test")
+	th.Return("loop", 0)
+	if len(h.Violations()) != 0 {
+		t.Fatalf("violations: %v", h.Violations())
+	}
+	// Without the message, ATLEAST(1, ...) fails at the site.
+	th.Call("loop")
+	th.Site("objc-test")
+	th.Return("loop", 0)
+	if len(h.Violations()) != 1 {
+		t.Fatalf("missing message not detected: %v", h.Violations())
+	}
+}
+
+func TestTraceModeStrings(t *testing.T) {
+	for mode, want := range map[TraceMode]string{
+		NoTracing:       "release",
+		TracingCompiled: "tracing-compiled",
+		Interposed:      "interposition",
+		TESLA:           "TESLA",
+	} {
+		if mode.String() != want {
+			t.Errorf("%d = %q", mode, mode.String())
+		}
+	}
+	if TraceMode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func TestIVarStorage(t *testing.T) {
+	rt := NewRuntime(NoTracing)
+	cls := NewClass("Counter", nil)
+	cls.AddMethod("bump", func(_ *Runtime, self *Object, _ ...core.Value) core.Value {
+		self.IVars["n"]++
+		return self.IVars["n"]
+	})
+	obj := rt.NewObject(cls)
+	rt.MsgSend(obj, "bump")
+	if got := rt.MsgSend(obj, "bump"); got != 2 {
+		t.Fatalf("ivar = %d", got)
+	}
+}

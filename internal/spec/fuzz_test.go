@@ -1,0 +1,164 @@
+package spec
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Random-assertion generator for the print∘parse round-trip property: any
+// tree the builder DSL can produce must print to macro text that reparses
+// to the identical tree. This is the property the manifest format depends
+// on (.tesla files store printed assertions).
+
+func genPattern(r *rand.Rand) ArgPattern {
+	var p ArgPattern
+	switch r.Intn(5) {
+	case 0:
+		p = Any([]string{"int", "ptr", "id"}[r.Intn(3)])
+	case 1:
+		p = Int(int64(r.Intn(2001) - 1000))
+	case 2:
+		p = Var([]string{"a", "b", "cc", "vp", "so"}[r.Intn(5)])
+	case 3:
+		p = Flags(int64(1 + r.Intn(0xffff)))
+	default:
+		p = Bitmask(int64(1 + r.Intn(0xffff)))
+	}
+	if r.Intn(5) == 0 {
+		p = Deref(p)
+	}
+	return p
+}
+
+func genFuncEvent(r *rand.Rand) *FunctionEvent {
+	fn := []string{"f0", "f1", "check_thing", "g"}[r.Intn(4)]
+	nargs := r.Intn(4)
+	var args []ArgPattern // nil when empty, matching the parser
+	for i := 0; i < nargs; i++ {
+		args = append(args, genPattern(r))
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Call(fn, args...)
+	case 1:
+		return ReturnFrom(fn, args...)
+	default:
+		return Call(fn, args...).Returns(genPattern(r))
+	}
+}
+
+func genEvent(r *rand.Rand) Expr {
+	switch r.Intn(6) {
+	case 0:
+		return Site()
+	case 1:
+		return InStack([]string{"h0", "h1"}[r.Intn(2)])
+	case 2:
+		op := []AssignOp{OpAssign, OpAddAssign, OpIncr}[r.Intn(3)]
+		target := Var([]string{"s", "p"}[r.Intn(2)])
+		structName := []string{"sock", "proc"}[r.Intn(2)]
+		switch op {
+		case OpIncr:
+			return FieldIncr(structName, "fld", target)
+		case OpAddAssign:
+			return FieldAddAssign(structName, "fld", target, Int(int64(r.Intn(100))))
+		default:
+			return FieldAssign(structName, "fld", target, genPattern(r))
+		}
+	case 3:
+		// Objective-C message: unary or two-part keyword selector.
+		if r.Intn(2) == 0 {
+			return Msg(genPattern(r), []string{"push", "pop", "display"}[r.Intn(3)])
+		}
+		return Msg(genPattern(r), "drawWith:inView:", genPattern(r), genPattern(r))
+	default:
+		return genFuncEvent(r)
+	}
+}
+
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return genEvent(r)
+	}
+	switch r.Intn(6) {
+	case 0:
+		n := 1 + r.Intn(3)
+		exprs := make([]Expr, n)
+		for i := range exprs {
+			exprs[i] = genExpr(r, depth-1)
+		}
+		return TSequence(exprs...)
+	case 1:
+		n := 2 + r.Intn(2)
+		exprs := make([]Expr, n)
+		for i := range exprs {
+			exprs[i] = genExpr(r, depth-1)
+		}
+		if r.Intn(2) == 0 {
+			return Or(exprs...)
+		}
+		return Xor(exprs...)
+	case 2:
+		return Opt(genExpr(r, depth-1))
+	case 3:
+		n := 1 + r.Intn(3)
+		exprs := make([]Expr, n)
+		for i := range exprs {
+			exprs[i] = genExpr(r, depth-1)
+		}
+		return AtLeast(r.Intn(4), exprs...)
+	default:
+		return genEvent(r)
+	}
+}
+
+func genAssertion(r *rand.Rand) *Assertion {
+	expr := genExpr(r, 2+r.Intn(2))
+	var a *Assertion
+	switch r.Intn(4) {
+	case 0:
+		a = Within("fuzz", "bound_fn", expr)
+	case 1:
+		a = GlobalWithin("fuzz", "bound_fn", expr)
+	case 2:
+		a = Assert("fuzz", PerThread, Bound{
+			Begin: StaticEvent{Kind: StaticCall, Fn: "begin_fn"},
+			End:   StaticEvent{Kind: StaticReturn, Fn: "end_fn"},
+		}, expr)
+	default:
+		a = Assert("fuzz", Global, Bound{
+			Begin: StaticEvent{Kind: StaticReturn, Fn: "begin_fn"},
+			End:   StaticEvent{Kind: StaticCall, Fn: "end_fn"},
+		}, expr)
+	}
+	a.Strict = r.Intn(4) == 0
+	return a
+}
+
+// TestQuickPrintParseRoundTrip: print∘parse is the identity on random
+// assertion trees.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140413)) // the paper's conference date
+	f := func() bool {
+		a := genAssertion(rng)
+		text := a.String()
+		b, err := Parse("fuzz", text, nil)
+		if err != nil {
+			t.Logf("unparseable print: %q: %v", text, err)
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			ja, _ := json.Marshal(a)
+			jb, _ := json.Marshal(b)
+			t.Logf("round trip changed tree:\n  text: %s\n  a: %s\n  b: %s", text, ja, jb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}

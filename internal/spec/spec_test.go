@@ -1,0 +1,434 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseFig1 parses the paper's figure 1 assertion.
+func TestParseFig1(t *testing.T) {
+	src := `TESLA_WITHIN(enclosing_fn, previously(
+		security_check(ANY(ptr), o, op) == 0))`
+	a, err := Parse("foo.c:3", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Context != PerThread {
+		t.Error("WITHIN should be per-thread")
+	}
+	if a.Bound != WithinBound("enclosing_fn") {
+		t.Errorf("bound = %v", a.Bound)
+	}
+	seq, ok := a.Expr.(*Sequence)
+	if !ok || len(seq.Exprs) != 2 {
+		t.Fatalf("previously(x) should expand to [x, SITE]: %v", a.Expr)
+	}
+	fe, ok := seq.Exprs[0].(*FunctionEvent)
+	if !ok {
+		t.Fatalf("first expr: %T", seq.Exprs[0])
+	}
+	if fe.Fn != "security_check" || fe.Kind != FuncExit || fe.Ret == nil || fe.Ret.Const != 0 {
+		t.Errorf("function event wrong: %v", fe)
+	}
+	if len(fe.Args) != 3 || fe.Args[0].Kind != PatAny || fe.Args[1] != Var("o") || fe.Args[2] != Var("op") {
+		t.Errorf("args wrong: %v", fe.Args)
+	}
+	if _, ok := seq.Exprs[1].(*AssertionSite); !ok {
+		t.Errorf("second expr should be assertion site: %T", seq.Exprs[1])
+	}
+}
+
+// TestParseFig4 parses the MAC socket-poll assertion of figure 4.
+func TestParseFig4(t *testing.T) {
+	src := `TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(active_cred, so) == 0)`
+	a, err := Parse("uipc.c:9", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound.Begin.Fn != SyscallFn {
+		t.Errorf("syscall bound = %v", a.Bound)
+	}
+	vars := Vars(a.Expr)
+	if !reflect.DeepEqual(vars, []string{"active_cred", "so"}) {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+// TestParseFig6 parses the libfetch/OpenSSL assertion of figure 6.
+func TestParseFig6(t *testing.T) {
+	src := `TESLA_WITHIN(main, previously(
+		EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1))`
+	a, err := Parse("fetch.c:1", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := a.Expr.(*Sequence)
+	fe := seq.Exprs[0].(*FunctionEvent)
+	if fe.Fn != "EVP_VerifyFinal" || fe.Ret.Const != 1 || len(fe.Args) != 4 {
+		t.Errorf("event = %v", fe)
+	}
+}
+
+// TestParseFig7 parses the UFS read assertion with OR, incallstack, called
+// and flags.
+func TestParseFig7(t *testing.T) {
+	env := &Env{Consts: map[string]int64{"IO_NOMACCHECK": 0x80}}
+	src := `TESLA_SYSCALL(incallstack(ufs_readdir)
+		|| previously(called(vn_rdwr(vp, flags(IO_NOMACCHECK))))
+		|| previously(mac_vnode_check_read(ANY(ptr), vp) == 0))`
+	a, err := Parse("ufs.c:88", src, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, ok := a.Expr.(*BoolExpr)
+	if !ok || be.Op != OrOp || len(be.Exprs) != 3 {
+		t.Fatalf("expr = %v", a.Expr)
+	}
+	if _, ok := be.Exprs[0].(*InCallStack); !ok {
+		t.Errorf("first operand: %T", be.Exprs[0])
+	}
+	seq := be.Exprs[1].(*Sequence)
+	fe := seq.Exprs[0].(*FunctionEvent)
+	if fe.Fn != "vn_rdwr" || len(fe.Args) != 2 {
+		t.Fatalf("vn_rdwr event: %v", fe)
+	}
+	if fe.Args[1].Kind != PatFlags || fe.Args[1].Const != 0x80 {
+		t.Errorf("flags pattern: %v", fe.Args[1])
+	}
+}
+
+// TestParseFig8 parses the Objective-C tracing assertion of figure 8.
+func TestParseFig8(t *testing.T) {
+	src := `TESLA_WITHIN(startDrawing, previously(ATLEAST(0,
+		[ANY(id) push],
+		[ANY(id) pop],
+		[ANY(id) drawWithFrame: ANY(NSRect) inView: ANY(id)])))`
+	a, err := Parse("gui.m:5", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := a.Expr.(*Sequence)
+	al, ok := seq.Exprs[0].(*ATLeast)
+	if !ok || al.Min != 0 || len(al.Exprs) != 3 {
+		t.Fatalf("ATLEAST = %v", seq.Exprs[0])
+	}
+	push := al.Exprs[0].(*FunctionEvent)
+	if !push.ObjC || push.Fn != "push" || len(push.Args) != 1 {
+		t.Errorf("push = %v", push)
+	}
+	draw := al.Exprs[2].(*FunctionEvent)
+	if draw.Fn != "drawWithFrame:inView:" || len(draw.Args) != 3 {
+		t.Errorf("draw = %v", draw)
+	}
+}
+
+func TestParseExplicitBoundAndContext(t *testing.T) {
+	src := `TESLA_GLOBAL(call(syscall_entry), returnfrom(syscall_exit),
+		eventually(audit(pid)))`
+	a, err := Parse("g.c:1", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Context != Global {
+		t.Error("context should be global")
+	}
+	if a.Bound.Begin != (StaticEvent{StaticCall, "syscall_entry"}) ||
+		a.Bound.End != (StaticEvent{StaticReturn, "syscall_exit"}) {
+		t.Errorf("bound = %v", a.Bound)
+	}
+	seq := a.Expr.(*Sequence)
+	if _, ok := seq.Exprs[0].(*AssertionSite); !ok {
+		t.Error("eventually should start with the assertion site")
+	}
+}
+
+func TestParseTeslaAssert(t *testing.T) {
+	src := `TESLA_ASSERT(global, call(begin), returnfrom(end), TSEQUENCE(a(), b()))`
+	a, err := Parse("x:1", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Context != Global {
+		t.Error("context")
+	}
+	seq := a.Expr.(*Sequence)
+	if len(seq.Exprs) != 2 {
+		t.Errorf("TSEQUENCE arity: %v", seq)
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	a, err := Parse("m:1", `TESLA_WITHIN(f, strict(previously(caller(g(x) == 0))))`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Strict {
+		t.Error("strict modifier lost")
+	}
+	seq := a.Expr.(*Sequence)
+	fe := seq.Exprs[0].(*FunctionEvent)
+	if fe.Side != SideCaller {
+		t.Error("caller modifier lost")
+	}
+
+	a2, err := Parse("m:2", `TESLA_WITHIN(f, conditional(previously(callee(call(g)))))`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Strict {
+		t.Error("conditional must not set strict")
+	}
+	fe2 := a2.Expr.(*Sequence).Exprs[0].(*FunctionEvent)
+	if fe2.Side != SideCallee {
+		t.Error("callee modifier lost")
+	}
+}
+
+func TestParseFieldAssign(t *testing.T) {
+	env := &Env{
+		Consts:     map[string]int64{"NEXT_STATE": 4},
+		VarStructs: map[string]string{"s": "state_machine"},
+	}
+	cases := []struct {
+		src  string
+		op   AssignOp
+		cval int64
+	}{
+		{`TESLA_WITHIN(f, eventually(s.foo = NEXT_STATE))`, OpAssign, 4},
+		{`TESLA_WITHIN(f, eventually(s.foo += 1))`, OpAddAssign, 1},
+		{`TESLA_WITHIN(f, eventually(s.foo++))`, OpIncr, 0},
+	}
+	for _, c := range cases {
+		a, err := Parse("fa", c.src, env)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		seq := a.Expr.(*Sequence)
+		fa, ok := seq.Exprs[1].(*FieldAssignEvent)
+		if !ok {
+			t.Fatalf("%s: %T", c.src, seq.Exprs[1])
+		}
+		if fa.Op != c.op || fa.Struct != "state_machine" || fa.Field != "foo" {
+			t.Errorf("%s: %v", c.src, fa)
+		}
+		if c.op == OpAssign && (fa.Value.Kind != PatConst || fa.Value.Const != 4) {
+			t.Errorf("%s: value %v", c.src, fa.Value)
+		}
+	}
+}
+
+func TestParseOptionalXorIndirect(t *testing.T) {
+	e, err := ParseExpr(`optional(check(x)) ^ other(&out) == 0`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := e.(*BoolExpr)
+	if be.Op != XorOp || len(be.Exprs) != 2 {
+		t.Fatalf("expr = %v", e)
+	}
+	if _, ok := be.Exprs[0].(*Optional); !ok {
+		t.Errorf("optional lost: %T", be.Exprs[0])
+	}
+	fe := be.Exprs[1].(*FunctionEvent)
+	if !fe.Args[0].Indirect || fe.Args[0].Var != "out" {
+		t.Errorf("indirect pattern: %v", fe.Args[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`FROB(f, x())`,
+		`TESLA_WITHIN(f)`,
+		`TESLA_WITHIN(f, )`,
+		`TESLA_WITHIN(f, a() || b() ^ c())`, // mixed ops need parens
+		`TESLA_WITHIN(f, previously(g(x) == ))`,
+		`TESLA_WITHIN(f, ATLEAST(x, a()))`,
+		`TESLA_WITHIN(f, s.foo)`,
+		`TESLA_ASSERT(bogus, call(a), returnfrom(b), c())`,
+		`TESLA_WITHIN(f, previously(flagsy(flags(UNKNOWN))))`,
+		`TESLA_WITHIN(f, x()) trailing`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("t", src, nil); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseMixedOpsWithParens(t *testing.T) {
+	e, err := ParseExpr(`(a() || b()) ^ c()`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := e.(*BoolExpr)
+	if be.Op != XorOp {
+		t.Fatalf("outer op: %v", be.Op)
+	}
+	inner := be.Exprs[0].(*BoolExpr)
+	if inner.Op != OrOp {
+		t.Fatalf("inner op: %v", inner.Op)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	src := `TESLA_WITHIN(f, /* block */ previously(
+		// line comment
+		g(x) == 0))`
+	if _, err := Parse("c", src, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuilderParserEquivalence checks the Go DSL and the text parser agree.
+func TestBuilderParserEquivalence(t *testing.T) {
+	cases := []struct {
+		src   string
+		built *Assertion
+	}{
+		{
+			`TESLA_WITHIN(enclosing_fn, previously(security_check(ANY(ptr), o, op) == 0))`,
+			Within("eq", "enclosing_fn",
+				Previously(Call("security_check", AnyPtr(), Var("o"), Var("op")).ReturnsInt(0))),
+		},
+		{
+			`TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(active_cred, so) == 0)`,
+			SyscallPreviously("eq", Call("mac_socket_check_poll", Var("active_cred"), Var("so")).ReturnsInt(0)),
+		},
+		{
+			`TESLA_WITHIN(main, TSEQUENCE(call(open_conn), optional(call(retry)), returnfrom(close_conn)))`,
+			Within("eq", "main", TSequence(
+				Call("open_conn"), Opt(Call("retry")), ReturnFrom("close_conn"))),
+		},
+	}
+	for i, c := range cases {
+		parsed, err := Parse("eq", c.src, nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(parsed, c.built) {
+			t.Errorf("case %d:\nparsed %#v\nbuilt  %#v", i, parsed, c.built)
+		}
+	}
+}
+
+// TestPrintRoundTrip: printing and reparsing yields the same tree.
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		`TESLA_WITHIN(f, previously(g(ANY(ptr), x) == 0))`,
+		`TESLA_GLOBAL(call(a), returnfrom(b), eventually(audit(pid)))`,
+		`TESLA_WITHIN(f, TSEQUENCE(call(x), returnfrom(y)))`,
+		`TESLA_WITHIN(f, (a() == 0 || b() == 1))`,
+		`TESLA_WITHIN(f, ATLEAST(2, call(p), call(q)))`,
+	}
+	for _, src := range srcs {
+		a1, err := Parse("rt", src, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		printed := a1.String()
+		// The printed form uses TESLA_PERTHREAD/TESLA_GLOBAL with an
+		// explicit bound, which must reparse to the same tree.
+		a2, err := Parse("rt", printed, nil)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Errorf("round trip changed tree:\n%s\n%s", src, printed)
+		}
+	}
+}
+
+func TestVarsCap(t *testing.T) {
+	e, _ := ParseExpr(`f(a, b, c, d, e) == 0`, nil)
+	vars := Vars(e)
+	if len(vars) != 5 {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	cases := []struct {
+		p    ArgPattern
+		v    int64
+		want bool
+	}{
+		{Any("int"), 42, true},
+		{Int(42), 42, true},
+		{Int(42), 41, false},
+		{Var("x"), 7, true}, // var matching is the dispatcher's job
+		{Flags(0x6), 0x7, true},
+		{Flags(0x6), 0x5, false},
+		{Bitmask(0x7), 0x5, true},
+		{Bitmask(0x7), 0x9, false},
+	}
+	for i, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("case %d: %v.Matches(%d) = %v", i, c.p, c.v, got)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	checks := map[string]string{
+		Within("s", "f", Previously(Call("g", Var("x")).ReturnsInt(0))).String(): "TESLA_PERTHREAD(call(f), returnfrom(f), TSEQUENCE(g(x) == 0, TESLA_ASSERTION_SITE))",
+		Msg(Any("id"), "push").String():                                          "[ANY(id) push]",
+		FieldIncr("s", "refs", Var("obj")).String():                              "s::obj.refs++",
+		FieldAddAssign("s", "n", Var("o"), Int(2)).String():                      "s::o.n += 2",
+		Deref(Var("out")).String():                                               "&out",
+		Flags(0x80).String():                                                     "flags(0x80)",
+		Bitmask(0xff).String():                                                   "bitmask(0xff)",
+		InStack("ufs_readdir").(*InCallStack).String():                           "incallstack(ufs_readdir)",
+	}
+	for got, want := range checks {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+	if s := Xor(Call("a"), Call("b")).String(); !strings.Contains(s, "^") {
+		t.Errorf("xor string: %q", s)
+	}
+}
+
+func TestParseNegativeConst(t *testing.T) {
+	e, err := ParseExpr(`f(x) == -1`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := e.(*FunctionEvent)
+	if fe.Ret.Const != -1 {
+		t.Errorf("ret = %v", fe.Ret)
+	}
+}
+
+func TestParseHexAndMultiFlag(t *testing.T) {
+	env := &Env{Consts: map[string]int64{"A": 1, "B": 2}}
+	e, err := ParseExpr(`f(flags(A | B | 0x10)) == 0`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := e.(*FunctionEvent)
+	if fe.Args[0].Const != 0x13 {
+		t.Errorf("flags = %#x", fe.Args[0].Const)
+	}
+}
+
+// TestStrictRoundTrip: the printed form of a strict assertion reparses with
+// the flag intact (manifest round-trip safety).
+func TestStrictRoundTrip(t *testing.T) {
+	a, err := Parse("s", `TESLA_WITHIN(f, strict(previously(g(x) == 0)))`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Strict {
+		t.Fatal("strict flag lost on parse")
+	}
+	b, err := Parse("s", a.String(), nil)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", a.String(), err)
+	}
+	if !b.Strict || !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip changed assertion:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,156 @@
+// Package ssl is a miniature OpenSSL: a DER (ASN.1) codec, a toy DSA-style
+// signature scheme split across libcrypto/libssl layers, an EVP
+// verification API with the tri-state return value whose misuse caused
+// CVE-2008-5077, a malicious s_server that forges an ASN.1 tag inside a
+// key-exchange signature, and a libfetch-style client — the §2.1/§3.5.1
+// case-study stack, rebuilt so the figure 6 TESLA assertion can observe a
+// call in one library from an assertion in another.
+package ssl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ASN.1 universal tags used by the signature encoding.
+const (
+	TagInteger   = 0x02
+	TagBitString = 0x03
+	TagSequence  = 0x30
+)
+
+// ErrDER reports a malformed DER structure — the “exceptional failure”
+// inside libcrypto that the vulnerable libssl conflated with success.
+var ErrDER = errors.New("ssl: malformed DER structure")
+
+// AppendTLV encodes one tag-length-value element (definite short/long
+// length forms).
+func AppendTLV(dst []byte, tag byte, val []byte) []byte {
+	dst = append(dst, tag)
+	n := len(val)
+	switch {
+	case n < 0x80:
+		dst = append(dst, byte(n))
+	case n <= 0xff:
+		dst = append(dst, 0x81, byte(n))
+	default:
+		dst = append(dst, 0x82, byte(n>>8), byte(n))
+	}
+	return append(dst, val...)
+}
+
+// ParseTLV decodes the element at the front of b, returning the tag, value
+// and remaining bytes.
+func ParseTLV(b []byte) (tag byte, val, rest []byte, err error) {
+	if len(b) < 2 {
+		return 0, nil, nil, ErrDER
+	}
+	tag = b[0]
+	n := int(b[1])
+	hdr := 2
+	switch {
+	case n < 0x80:
+	case n == 0x81:
+		if len(b) < 3 {
+			return 0, nil, nil, ErrDER
+		}
+		n = int(b[2])
+		hdr = 3
+	case n == 0x82:
+		if len(b) < 4 {
+			return 0, nil, nil, ErrDER
+		}
+		n = int(b[2])<<8 | int(b[3])
+		hdr = 4
+	default:
+		return 0, nil, nil, ErrDER
+	}
+	if len(b) < hdr+n {
+		return 0, nil, nil, ErrDER
+	}
+	return tag, b[hdr : hdr+n], b[hdr+n:], nil
+}
+
+// AppendInteger encodes a non-negative integer in DER (minimal big-endian
+// two's complement).
+func AppendInteger(dst []byte, v int64) []byte {
+	if v < 0 {
+		panic("ssl: negative DER integers unsupported")
+	}
+	var buf []byte
+	for {
+		buf = append([]byte{byte(v & 0xff)}, buf...)
+		v >>= 8
+		if v == 0 {
+			break
+		}
+	}
+	// A leading 1-bit would read as negative; pad with a zero octet.
+	if buf[0]&0x80 != 0 {
+		buf = append([]byte{0}, buf...)
+	}
+	return AppendTLV(dst, TagInteger, buf)
+}
+
+// ParseInteger decodes a DER INTEGER. A BIT STRING (or anything else) in
+// its place is the forged-tag condition: an error, not a value.
+func ParseInteger(b []byte) (v int64, rest []byte, err error) {
+	tag, val, rest, err := ParseTLV(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if tag != TagInteger {
+		return 0, nil, fmt.Errorf("%w: expected INTEGER, found tag 0x%02x", ErrDER, tag)
+	}
+	if len(val) == 0 || len(val) > 9 {
+		return 0, nil, ErrDER
+	}
+	for _, c := range val {
+		v = v<<8 | int64(c)
+	}
+	return v, rest, nil
+}
+
+// EncodeSignature encodes a DSA-style (r, s) signature as
+// SEQUENCE { INTEGER r, INTEGER s }.
+func EncodeSignature(r, s int64) []byte {
+	var body []byte
+	body = AppendInteger(body, r)
+	body = AppendInteger(body, s)
+	return AppendTLV(nil, TagSequence, body)
+}
+
+// ForgeSignatureTag re-encodes a signature so that the first of the two
+// large integers claims to have the BIT STRING type rather than INTEGER —
+// the malicious key-exchange signature of §3.5.1.
+func ForgeSignatureTag(sig []byte) []byte {
+	out := append([]byte{}, sig...)
+	// SEQUENCE header, then the first element's tag byte.
+	_, body, _, err := ParseTLV(out)
+	if err != nil || len(body) == 0 {
+		return out
+	}
+	// body aliases out's backing array; flip the first element's tag.
+	body[0] = TagBitString
+	return out
+}
+
+// DecodeSignature parses SEQUENCE { INTEGER r, INTEGER s }.
+func DecodeSignature(sig []byte) (r, s int64, err error) {
+	tag, body, _, err := ParseTLV(sig)
+	if err != nil {
+		return 0, 0, err
+	}
+	if tag != TagSequence {
+		return 0, 0, fmt.Errorf("%w: expected SEQUENCE", ErrDER)
+	}
+	r, body, err = ParseInteger(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, _, err = ParseInteger(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, s, nil
+}

@@ -1,0 +1,54 @@
+package ssl
+
+import (
+	"tesla/internal/automata"
+	"tesla/internal/spec"
+)
+
+// FetchAssertionName names the figure 6 assertion, written in libfetch but
+// observing a call boundary between libssl and libcrypto.
+const FetchAssertionName = "fetchssl"
+
+// FetchAssertion is figure 6:
+//
+//	TESLA_WITHIN(main, previously(
+//	    EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1));
+//
+// Within the context of the main execution, a call to EVP_VerifyFinal
+// previously returned success. The client may not have checked the return
+// value correctly, but if the function returns non-success it will not
+// satisfy the TESLA expression.
+func FetchAssertion() *spec.Assertion {
+	return spec.Within(FetchAssertionName, "main",
+		spec.Previously(
+			spec.Call("EVP_VerifyFinal",
+				spec.AnyPtr(), spec.AnyPtr(), spec.AnyInt(), spec.AnyPtr()).ReturnsInt(1)))
+}
+
+// FetchAutomaton compiles the figure 6 assertion.
+func FetchAutomaton() (*automata.Automaton, error) {
+	return automata.Compile(FetchAssertion())
+}
+
+// Fetch is the libfetch client: connect over TLS and retrieve a document.
+// The TESLA assertion site sits after the retrieval — within main's bound —
+// so the run fails if no successful verification ever happened, regardless
+// of how (or whether) libssl checked EVP_VerifyFinal's return value.
+func Fetch(env *Env, c *Client, srv *Server, path string) (string, error) {
+	env.enter("fetch", 0)
+	defer env.exit("fetch", 0, 0)
+	conn, err := c.SSLConnect(srv)
+	if err != nil {
+		return "", err
+	}
+	doc := conn.Get(env, path)
+	env.site(FetchAssertionName)
+	return doc, nil
+}
+
+// FetchMain runs Fetch inside the main bound (the assertion's context).
+func FetchMain(env *Env, c *Client, srv *Server, path string) (string, error) {
+	env.enter("main", 0)
+	defer env.exit("main", 0, 0)
+	return Fetch(env, c, srv, path)
+}

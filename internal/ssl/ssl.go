@@ -1,0 +1,228 @@
+package ssl
+
+import (
+	"fmt"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+)
+
+// The toy DSA-like scheme: Schnorr-style over the multiplicative group mod
+// a Mersenne prime. Cryptographically worthless, structurally faithful —
+// signatures are two large integers DER-encoded as a SEQUENCE, and
+// verification either succeeds (1), fails (0), or errors on malformed
+// input (-1): the tri-state whose misuse was CVE-2008-5077.
+
+// P is the group modulus.
+const P = 2147483647 // 2^31 − 1
+
+// G is the generator.
+const G = 7
+
+func modexp(base, exp, mod int64) int64 {
+	result := int64(1)
+	base %= mod
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % mod
+		}
+		base = base * base % mod
+		exp >>= 1
+	}
+	return result
+}
+
+// Key is a DSA-style keypair.
+type Key struct {
+	Y int64 // public: G^x mod P
+	x int64 // private
+}
+
+// GenerateKey derives a keypair from a seed.
+func GenerateKey(seed int64) *Key {
+	x := (seed*2654435761 + 1) % (P - 1)
+	if x < 0 {
+		x = -x
+	}
+	for {
+		if x <= 1 {
+			x = 2
+		}
+		if y := modexp(G, x, P); y != 1 {
+			return &Key{x: x, Y: y}
+		}
+		x++
+	}
+}
+
+// Digest hashes a message to a group exponent.
+func Digest(msg []byte) int64 {
+	var h int64 = 5381
+	for _, c := range msg {
+		h = (h*33 + int64(c)) % (P - 1)
+	}
+	if h <= 0 {
+		h = 1
+	}
+	return h
+}
+
+// Sign produces a DER-encoded (r, s) signature of the digest.
+func (k *Key) Sign(digest int64) []byte {
+	kk := (digest*40503 + k.x) % (P - 1)
+	if kk <= 1 {
+		kk = 2
+	}
+	r := modexp(G, kk, P)
+	e := (digest + r) % (P - 1)
+	s := (kk + k.x*e) % (P - 1)
+	return EncodeSignature(r, s)
+}
+
+// verify checks the Schnorr relation g^s == r · y^e (mod P).
+func (k *Key) verify(digest int64, r, s int64) bool {
+	e := (digest + r) % (P - 1)
+	lhs := modexp(G, s, P)
+	rhs := r % P * modexp(k.Y, e, P) % P
+	return lhs == rhs
+}
+
+// Env carries the optional TESLA monitor thread through the library stack,
+// standing in for compiled-in instrumentation. IDs identify the opaque
+// pointers instrumentation would capture.
+type Env struct {
+	Thread *monitor.Thread
+	nextID core.Value
+}
+
+// NewEnv creates an environment; th may be nil (uninstrumented build).
+func NewEnv(th *monitor.Thread) *Env {
+	return &Env{Thread: th, nextID: 100}
+}
+
+func (e *Env) id() core.Value {
+	e.nextID++
+	return e.nextID
+}
+
+func (e *Env) enter(fn string, args ...core.Value) {
+	if e.Thread != nil {
+		e.Thread.Call(fn, args...)
+	}
+}
+
+func (e *Env) exit(fn string, ret core.Value, args ...core.Value) {
+	if e.Thread != nil {
+		e.Thread.Return(fn, ret, args...)
+	}
+}
+
+func (e *Env) site(name string, vals ...core.Value) {
+	if e.Thread != nil {
+		e.Thread.Site(name, vals...)
+	}
+}
+
+// EVPVerifyFinal is libcrypto's verification entry point. Returns 1 for a
+// valid signature, 0 for an invalid one, and -1 for an exceptional failure
+// (such as a forged ASN.1 tag inside the signature).
+func (e *Env) EVPVerifyFinal(ctx core.Value, sig []byte, digest int64, key *Key) int64 {
+	sigID := e.id()
+	keyID := e.id()
+	e.enter("EVP_VerifyFinal", ctx, sigID, core.Value(len(sig)), keyID)
+	var ret int64
+	r, s, err := DecodeSignature(sig)
+	switch {
+	case err != nil:
+		ret = -1
+	case key.verify(digest, r, s):
+		ret = 1
+	default:
+		ret = 0
+	}
+	e.exit("EVP_VerifyFinal", core.Value(ret), ctx, sigID, core.Value(len(sig)), keyID)
+	return ret
+}
+
+// Server is a miniature s_server. When Malicious, it crafts a key-exchange
+// signature whose first integer claims the BIT STRING type, triggering the
+// exceptional failure path in clients (§3.5.1).
+type Server struct {
+	Key       *Key
+	Malicious bool
+	Document  string
+}
+
+// NewServer creates a server with a fresh key.
+func NewServer(seed int64) *Server {
+	return &Server{Key: GenerateKey(seed), Document: "<html>hello</html>"}
+}
+
+// keyExchange produces the signed key-exchange message.
+func (srv *Server) keyExchange(clientRandom []byte) (msg []byte, sig []byte) {
+	msg = append([]byte("kx:"), clientRandom...)
+	sig = srv.Key.Sign(Digest(msg))
+	if srv.Malicious {
+		sig = ForgeSignatureTag(sig)
+	}
+	return msg, sig
+}
+
+// Conn is an established (toy) TLS connection.
+type Conn struct {
+	srv      *Server
+	Verified int64 // raw EVP_VerifyFinal result, for inspection
+}
+
+// Client is a miniature libssl client. FixedCheck selects the patched
+// `verified == 1` comparison; the vulnerable build treats any non-zero
+// result — including the -1 error — as success.
+type Client struct {
+	Env        *Env
+	FixedCheck bool
+}
+
+// SSLConnect performs the handshake: retrieve and verify the server's
+// key-exchange signature. The verification bug lives in
+// ssl3GetKeyExchange.
+func (c *Client) SSLConnect(srv *Server) (*Conn, error) {
+	e := c.Env
+	connID := e.id()
+	e.enter("SSL_connect", connID)
+	defer e.exit("SSL_connect", 0, connID)
+	ok, verified := c.ssl3GetKeyExchange(srv, connID)
+	if !ok {
+		return nil, fmt.Errorf("ssl: handshake failed (verify=%d)", verified)
+	}
+	return &Conn{srv: srv, Verified: verified}, nil
+}
+
+func (c *Client) ssl3GetKeyExchange(srv *Server, connID core.Value) (bool, int64) {
+	e := c.Env
+	e.enter("ssl3_get_key_exchange", connID)
+	msg, sig := srv.keyExchange([]byte{1, 2, 3, 4})
+	verified := e.EVPVerifyFinal(connID, sig, Digest(msg), srv.Key)
+	var ok bool
+	if c.FixedCheck {
+		ok = verified == 1
+	} else {
+		// CVE-2008-5077: the tri-state return is used as a boolean,
+		// conflating the -1 exceptional failure with success.
+		ok = verified != 0
+	}
+	ret := core.Value(0)
+	if ok {
+		ret = 1
+	}
+	e.exit("ssl3_get_key_exchange", ret, connID)
+	return ok, verified
+}
+
+// Get retrieves the document over the connection.
+func (conn *Conn) Get(e *Env, path string) string {
+	reqID := e.id()
+	e.enter("ssl_read", reqID)
+	doc := conn.srv.Document
+	e.exit("ssl_read", core.Value(len(doc)), reqID)
+	return doc
+}

@@ -1,0 +1,193 @@
+package ssl
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+)
+
+func TestDERIntegerRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 127, 128, 255, 256, 1 << 20, P - 1} {
+		enc := AppendInteger(nil, v)
+		got, rest, err := ParseInteger(enc)
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v || len(rest) != 0 {
+			t.Fatalf("%d: got %d rest=%d", v, got, len(rest))
+		}
+	}
+}
+
+func TestQuickDERIntegerRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		if v < 0 {
+			v = -v
+		}
+		v %= P
+		enc := AppendInteger(nil, v)
+		got, _, err := ParseInteger(enc)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDERLongForm(t *testing.T) {
+	val := make([]byte, 300)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	enc := AppendTLV(nil, TagSequence, val)
+	tag, got, rest, err := ParseTLV(enc)
+	if err != nil || tag != TagSequence || !reflect.DeepEqual(got, val) || len(rest) != 0 {
+		t.Fatalf("long form: tag=%#x err=%v len=%d", tag, err, len(got))
+	}
+}
+
+func TestDERErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0x02},
+		{0x02, 0x05, 0x01},       // truncated value
+		{0x02, 0x84, 0, 0, 0, 0}, // unsupported length form
+		{0x02, 0x81},             // truncated long form
+	}
+	for i, b := range bad {
+		if _, _, _, err := ParseTLV(b); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// BIT STRING where INTEGER expected.
+	enc := AppendTLV(nil, TagBitString, []byte{1})
+	if _, _, err := ParseInteger(enc); err == nil {
+		t.Error("forged tag must not parse as INTEGER")
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	enc := EncodeSignature(123456, 789012)
+	r, s, err := DecodeSignature(enc)
+	if err != nil || r != 123456 || s != 789012 {
+		t.Fatalf("r=%d s=%d err=%v", r, s, err)
+	}
+}
+
+func TestForgeSignatureTag(t *testing.T) {
+	sig := EncodeSignature(99, 100)
+	forged := ForgeSignatureTag(sig)
+	if _, _, err := DecodeSignature(forged); err == nil {
+		t.Fatal("forged signature must fail to parse")
+	}
+	// Original is not mutated.
+	if _, _, err := DecodeSignature(sig); err != nil {
+		t.Fatalf("original corrupted: %v", err)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	key := GenerateKey(42)
+	msg := []byte("key exchange payload")
+	sig := key.Sign(Digest(msg))
+
+	env := NewEnv(nil)
+	if got := env.EVPVerifyFinal(1, sig, Digest(msg), key); got != 1 {
+		t.Fatalf("valid signature: %d", got)
+	}
+	// Wrong digest: verification fails cleanly (0).
+	if got := env.EVPVerifyFinal(1, sig, Digest([]byte("other")), key); got != 0 {
+		t.Fatalf("wrong digest: %d", got)
+	}
+	// Forged tag: exceptional failure (-1).
+	if got := env.EVPVerifyFinal(1, ForgeSignatureTag(sig), Digest(msg), key); got != -1 {
+		t.Fatalf("forged: %d", got)
+	}
+}
+
+func TestQuickSignVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		key := GenerateKey(rng.Int63n(1 << 40))
+		msg := make([]byte, 8+rng.Intn(32))
+		rng.Read(msg)
+		sig := key.Sign(Digest(msg))
+		env := NewEnv(nil)
+		if env.EVPVerifyFinal(1, sig, Digest(msg), key) != 1 {
+			return false
+		}
+		// A perturbed digest must not verify (requires y ≠ 1, which
+		// GenerateKey guarantees).
+		bad := (Digest(msg) % (P - 2)) + 1
+		if bad == Digest(msg) {
+			bad = Digest(msg) - 1
+		}
+		return env.EVPVerifyFinal(1, sig, bad, key) != 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVulnerableClientAcceptsForgery: without TESLA, the buggy client
+// accepts the malicious server's forged signature (the CVE).
+func TestVulnerableClientAcceptsForgery(t *testing.T) {
+	srv := NewServer(1)
+	srv.Malicious = true
+	c := &Client{Env: NewEnv(nil), FixedCheck: false}
+	conn, err := c.SSLConnect(srv)
+	if err != nil {
+		t.Fatal("vulnerable client should (wrongly) accept the forgery")
+	}
+	if conn.Verified != -1 {
+		t.Fatalf("verified = %d, want -1", conn.Verified)
+	}
+
+	// The fixed client rejects it.
+	cf := &Client{Env: NewEnv(nil), FixedCheck: true}
+	if _, err := cf.SSLConnect(srv); err == nil {
+		t.Fatal("fixed client must reject the forgery")
+	}
+}
+
+// TestFig6AssertionDetectsForgery reproduces §3.5.1: the day after the CVE
+// announcement, the libfetch author writes one assertion and recompiles —
+// TESLA flags the forged handshake even though the buggy check "succeeds".
+func TestFig6AssertionDetectsForgery(t *testing.T) {
+	run := func(malicious bool) []*core.Violation {
+		auto, err := FetchAutomaton()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := core.NewCountingHandler()
+		m := monitor.MustNew(monitor.Options{Handler: h}, auto)
+		env := NewEnv(m.NewThread())
+		srv := NewServer(5)
+		srv.Malicious = malicious
+		c := &Client{Env: env, FixedCheck: false}
+		doc, err := FetchMain(env, c, srv, "/index.html")
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		if !strings.Contains(doc, "hello") {
+			t.Fatalf("doc = %q", doc)
+		}
+		return h.Violations()
+	}
+
+	if vs := run(false); len(vs) != 0 {
+		t.Fatalf("honest server flagged: %v", vs)
+	}
+	vs := run(true)
+	if len(vs) != 1 || vs[0].Kind != core.VerdictNoInstance {
+		t.Fatalf("forgery not detected: %v", vs)
+	}
+	if !strings.Contains(vs[0].Error(), "EVP_VerifyFinal") {
+		t.Fatalf("violation should cite EVP_VerifyFinal: %v", vs[0])
+	}
+}

@@ -1,0 +1,158 @@
+// Package toolchain drives the complete TESLA workflow of §4 — analyse,
+// compile, instrument, link, run — as one pipeline. The cmd/ tools, the
+// examples and the build-time benchmarks (figure 10) are all built on it,
+// staged exactly as the paper's build is: per-file compilation to IR,
+// per-file analysis into .tesla manifests, combination into a program
+// manifest, per-file instrumentation against the combined manifest (the
+// one-to-many property behind the incremental-rebuild costs of §5.1),
+// post-instrumentation optimisation, then linking.
+package toolchain
+
+import (
+	"fmt"
+	"sort"
+
+	"tesla/internal/automata"
+	"tesla/internal/compiler"
+	"tesla/internal/csub"
+	"tesla/internal/instrument"
+	"tesla/internal/ir"
+	"tesla/internal/manifest"
+	"tesla/internal/monitor"
+	"tesla/internal/vm"
+)
+
+// Build is the result of compiling a program with (or without) TESLA.
+type Build struct {
+	// Files are the parsed sources in deterministic (name) order.
+	Files []*csub.File
+	// Units are the per-file compilation results, aligned with Files.
+	Units []*compiler.Unit
+	// Manifest is the combined program manifest.
+	Manifest *manifest.File
+	// Autos are the compiled automata, in manifest order; instrumented
+	// code indexes into this slice.
+	Autos []*automata.Automaton
+	// Program is the linked module: instrumented when the build was made
+	// with Instrument, stripped otherwise.
+	Program *ir.Module
+	// Stats aggregates instrumentation statistics across units.
+	Stats instrument.Stats
+}
+
+// BuildProgram runs the full pipeline over the sources (name → text).
+// With instrumented=false the assertion pseudo-calls are stripped,
+// producing the "Default" baseline build.
+func BuildProgram(sources map[string]string, instrumented bool) (*Build, error) {
+	b := &Build{}
+
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Front-end: parse every file.
+	for _, n := range names {
+		f, err := csub.Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		b.Files = append(b.Files, f)
+	}
+	ctx, err := compiler.NewContext(b.Files...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-file compilation and analysis.
+	var manifests []*manifest.File
+	for _, f := range b.Files {
+		u, err := compiler.CompileFile(f, ctx)
+		if err != nil {
+			return nil, err
+		}
+		b.Units = append(b.Units, u)
+		manifests = append(manifests, manifest.FromAssertions(f.Name, u.Assertions))
+	}
+	b.Manifest, err = manifest.Combine(manifests...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instrument (or strip) each module, then optimise and link.
+	var mods []*ir.Module
+	if instrumented {
+		b.Autos, err = b.Manifest.Compile()
+		if err != nil {
+			return nil, err
+		}
+		defined := ctx.DefinedFns()
+		for i, u := range b.Units {
+			m, stats, err := instrument.Module(u.Module, b.Autos, instrument.Options{
+				DefinedFns: defined,
+				Suffix:     fmt.Sprintf("__m%d", i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			b.Stats.Hooks += stats.Hooks
+			b.Stats.Translators += stats.Translators
+			b.Stats.Sites += stats.Sites
+			ir.Optimize(m)
+			mods = append(mods, m)
+		}
+	} else {
+		for _, u := range b.Units {
+			m := instrument.Strip(u.Module)
+			ir.Optimize(m)
+			mods = append(mods, m)
+		}
+	}
+	b.Program, err = ir.Link("program", mods...)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Runtime bundles an executable VM with its monitor, for instrumented
+// builds (Monitor and Thread are nil for uninstrumented ones).
+type Runtime struct {
+	VM      *vm.VM
+	Monitor *monitor.Monitor
+	Thread  *monitor.Thread
+}
+
+// NewRuntime prepares a VM (and, for instrumented builds, a monitor wired
+// to it) for the build.
+func (b *Build) NewRuntime(opts monitor.Options) (*Runtime, error) {
+	machine := vm.New(b.Program)
+	rt := &Runtime{VM: machine}
+	if len(b.Autos) > 0 {
+		if opts.Memory == nil {
+			opts.Memory = machine
+		}
+		m, err := monitor.New(opts, b.Autos...)
+		if err != nil {
+			return nil, err
+		}
+		rt.Monitor = m
+		rt.Thread = m.NewThread()
+		machine.AttachThread(rt.Thread)
+	}
+	return rt, nil
+}
+
+// Run executes main() (or the named entry point) on a fresh runtime.
+func (b *Build) Run(entry string, opts monitor.Options, args ...int64) (int64, *Runtime, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	rt, err := b.NewRuntime(opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	ret, err := rt.VM.Run(entry, args...)
+	return ret, rt, err
+}

@@ -1,0 +1,147 @@
+// Package xnee is a GNU Xnee-style X11 event recorder/replayer: the paper
+// uses Xnee to replay X11 events and interact with dialog boxes for the
+// figure 14b redraw-time measurements. This implementation generates and
+// replays deterministic event scripts against the gui substrate.
+package xnee
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"tesla/internal/gui"
+)
+
+// Script is a recorded interaction session: batches of events, one batch
+// per run-loop iteration.
+type Script struct {
+	Batches [][]gui.Event
+}
+
+// DialogSession synthesises the paper's workload — interacting with dialog
+// boxes: pointer movement across widgets (tracking rectangles), clicks that
+// repaint portions of the window, and occasional complete redraws.
+func DialogSession(iterations int) *Script {
+	s := &Script{}
+	// A deterministic LCG so every run replays identically.
+	seed := int64(20131001)
+	next := func(n int64) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := (seed >> 33) % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	for i := 0; i < iterations; i++ {
+		var batch []gui.Event
+		// Pointer glide: a few moves.
+		x, y := next(400), next(300)
+		for m := 0; m < 4; m++ {
+			batch = append(batch, gui.Event{Kind: gui.MouseMove, X: x + int64(m)*7, Y: y + int64(m)*3})
+		}
+		// Most iterations click (partial repaint); every 16th exposes
+		// the whole window (the fig. 14b outliers).
+		if i%16 == 15 {
+			batch = append(batch, gui.Event{Kind: gui.Expose})
+		} else {
+			batch = append(batch, gui.Event{Kind: gui.Click, X: x, Y: y})
+		}
+		s.Batches = append(s.Batches, batch)
+	}
+	return s
+}
+
+// CursorCrossing synthesises the §3.5.3 cursor-bug trigger: the pointer
+// enters a tracking rectangle, the rectangles are invalidated (a scroll)
+// while the pointer stays inside, and the pointer wiggles — a buggy run
+// loop re-enters and pushes the same cursor a second time before the
+// single exit.
+func CursorCrossing(rect gui.Rect, repeats int) *Script {
+	s := &Script{}
+	inX, inY := rect.X+1, rect.Y+1
+	outX := rect.X + rect.W + 5
+	for i := 0; i < repeats; i++ {
+		s.Batches = append(s.Batches,
+			[]gui.Event{{Kind: gui.MouseMove, X: inX, Y: inY}}, // enter
+			[]gui.Event{ // scroll + wiggle, same batch
+				{Kind: gui.Invalidate},
+				{Kind: gui.MouseMove, X: inX + 2, Y: inY},
+			},
+			[]gui.Event{{Kind: gui.MouseMove, X: outX, Y: inY}}, // leave
+		)
+	}
+	return s
+}
+
+// Replay drives the script through the run loop, one batch per iteration.
+func Replay(rl *gui.RunLoop, s *Script) {
+	for _, b := range s.Batches {
+		rl.ProcessBatch(b)
+	}
+}
+
+// Save writes the script in xnee's line-oriented record format.
+func (s *Script) Save(w io.Writer) error {
+	for _, b := range s.Batches {
+		for _, ev := range b {
+			var line string
+			switch ev.Kind {
+			case gui.MouseMove:
+				line = fmt.Sprintf("motion %d %d", ev.X, ev.Y)
+			case gui.Click:
+				line = fmt.Sprintf("button %d %d", ev.X, ev.Y)
+			case gui.Expose:
+				line = "expose"
+			case gui.Invalidate:
+				line = "invalidate"
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "---"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a script saved with Save.
+func Load(r io.Reader) (*Script, error) {
+	s := &Script{}
+	var batch []gui.Event
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "---":
+			s.Batches = append(s.Batches, batch)
+			batch = nil
+		case line == "expose":
+			batch = append(batch, gui.Event{Kind: gui.Expose})
+		case line == "invalidate":
+			batch = append(batch, gui.Event{Kind: gui.Invalidate})
+		default:
+			var kind string
+			var x, y int64
+			if _, err := fmt.Sscanf(line, "%s %d %d", &kind, &x, &y); err != nil {
+				return nil, fmt.Errorf("xnee: bad line %q", line)
+			}
+			switch kind {
+			case "motion":
+				batch = append(batch, gui.Event{Kind: gui.MouseMove, X: x, Y: y})
+			case "button":
+				batch = append(batch, gui.Event{Kind: gui.Click, X: x, Y: y})
+			default:
+				return nil, fmt.Errorf("xnee: unknown event %q", kind)
+			}
+		}
+	}
+	if len(batch) > 0 {
+		s.Batches = append(s.Batches, batch)
+	}
+	return s, sc.Err()
+}

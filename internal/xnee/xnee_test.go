@@ -1,0 +1,82 @@
+package xnee
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tesla/internal/gui"
+	"tesla/internal/objc"
+)
+
+func TestDialogSessionDeterministic(t *testing.T) {
+	a := DialogSession(32)
+	b := DialogSession(32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sessions must replay identically")
+	}
+	if len(a.Batches) != 32 {
+		t.Fatalf("batches = %d", len(a.Batches))
+	}
+	// Every 16th iteration is a complete redraw.
+	exposes := 0
+	for _, batch := range a.Batches {
+		for _, ev := range batch {
+			if ev.Kind == gui.Expose {
+				exposes++
+			}
+		}
+	}
+	if exposes != 2 {
+		t.Fatalf("exposes = %d", exposes)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := DialogSession(8)
+	s.Batches = append(s.Batches, []gui.Event{{Kind: gui.Invalidate}})
+	var sb strings.Builder
+	if err := s.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip changed script:\n%v\n%v", s, s2)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, bad := range []string{"frobnicate 1 2\n---\n", "motion x y\n---\n"} {
+		if _, err := Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestReplayDrivesWindow(t *testing.T) {
+	rt := objc.NewRuntime(objc.NoTracing)
+	w := gui.NewWindow(rt, gui.NewOldBackend())
+	w.AddView(gui.Rect{X: 0, Y: 0, W: 400, H: 300}, 1, 4, false)
+	rl := gui.NewRunLoop(w, nil)
+	Replay(rl, DialogSession(64))
+	if w.Redraws == 0 {
+		t.Fatal("replay produced no full redraws")
+	}
+	if rt.MsgCount == 0 {
+		t.Fatal("replay produced no message sends")
+	}
+}
+
+func TestCursorCrossingShape(t *testing.T) {
+	s := CursorCrossing(gui.Rect{X: 0, Y: 0, W: 100, H: 100}, 2)
+	if len(s.Batches) != 6 {
+		t.Fatalf("batches = %d", len(s.Batches))
+	}
+	// The middle batch of each repeat carries the invalidation.
+	if s.Batches[1][0].Kind != gui.Invalidate {
+		t.Fatal("invalidate missing")
+	}
+}
