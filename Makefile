@@ -1,0 +1,31 @@
+# Developer entry points. `make ci` is what the build gate runs.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test check bench
+
+ci: fmt vet build test check
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The static checker over the demo programs: safe.c must pass (exit 0),
+# doomed.c must be rejected (exit 1).
+check: build
+	$(GO) run ./cmd/tesla-check examples/staticcheck/testdata/safe.c
+	! $(GO) run ./cmd/tesla-check examples/staticcheck/testdata/doomed.c
+
+bench:
+	$(GO) run ./cmd/tesla-bench -fig elision -files 8

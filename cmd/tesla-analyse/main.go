@@ -19,6 +19,7 @@ func main() {
 	out := flag.String("o", "", "path for the combined program manifest (default: program.tesla)")
 	print := flag.Bool("print", false, "print manifests to stdout instead of writing files")
 	lint := flag.Bool("lint", false, "also report assertions whose events can never occur")
+	entry := flag.String("entry", "main", "entry point for the -lint static checker")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: tesla-analyse [-o combined.tesla] [-print] file.c...")
@@ -40,7 +41,7 @@ func main() {
 	}
 
 	if *lint {
-		warnings, err := analyse.LintSources(sources)
+		warnings, _, err := analyse.LintProgram(sources, *entry)
 		if err != nil {
 			fatal(err)
 		}

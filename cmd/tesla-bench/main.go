@@ -21,7 +21,7 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run everything")
 	table := flag.String("table", "", "regenerate a table (1)")
-	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b)")
+	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elision)")
 	iters := flag.Int("iters", 2000, "iterations per measurement")
 	files := flag.Int("files", 24, "files in the figure 10 synthetic codebase")
 	flag.Parse()
@@ -67,5 +67,8 @@ func main() {
 	}
 	if want("14b") {
 		run("fig14b", func() error { return bench.Fig14b(w, 256) })
+	}
+	if want("elision") {
+		run("elision", func() error { return bench.Elision(w, *files, 6) })
 	}
 }

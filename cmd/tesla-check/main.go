@@ -1,0 +1,70 @@
+// tesla-check is the static model checker: it compiles csub source files,
+// walks the linked program's control-flow graph against every assertion
+// automaton, and classifies each assertion as PROVABLY-SAFE (its
+// instrumentation can be elided), PROVABLY-FAILING (a compile-time error:
+// the assertion cannot hold in any completing run) or NEEDS-RUNTIME.
+//
+// Usage:
+//
+//	tesla-check [-entry main] [-dot] [-q] file.c...
+//
+// The exit status is 1 when any assertion is PROVABLY-FAILING, 2 on usage
+// or compilation errors, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/staticcheck"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "program entry point the analysis starts from")
+	dot := flag.Bool("dot", false, "dump each assertion's explored product graph as Graphviz")
+	quiet := flag.Bool("q", false, "only print non-SAFE assertions")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tesla-check [-entry main] [-dot] [-q] file.c...")
+		os.Exit(2)
+	}
+
+	sources := map[string]string{}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources[path] = string(data)
+	}
+
+	rep, err := staticcheck.CheckSources(sources, *entry)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, r := range rep.Results {
+		if *quiet && r.Verdict == staticcheck.Safe {
+			continue
+		}
+		fmt.Printf("%s: %s\n", r.Automaton.Name, r.Verdict)
+		for _, reason := range r.Reasons {
+			fmt.Printf("\t%s\n", reason)
+		}
+		if *dot {
+			fmt.Print(r.Dot())
+		}
+	}
+	safe, failing, runtime := rep.Counts()
+	fmt.Printf("%d assertions: %d provably safe, %d provably failing, %d need runtime checking\n",
+		safe+failing+runtime, safe, failing, runtime)
+	if failing > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tesla-check:", err)
+	os.Exit(2)
+}

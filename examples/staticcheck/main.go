@@ -1,0 +1,59 @@
+// Command staticcheck demonstrates the compile-time model checker: one
+// assertion is proved safe (its instrumentation is elided), one is proved
+// doomed (reported without ever running the program).
+//
+//	go run ./examples/staticcheck
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tesla/internal/staticcheck"
+	"tesla/internal/toolchain"
+)
+
+func main() {
+	dir := "examples/staticcheck/testdata"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	for _, name := range []string{"safe.c", "doomed.c"} {
+		text, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sources := map[string]string{name: string(text)}
+
+		rep, err := staticcheck.CheckSources(sources, "main")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s\n", name)
+		for _, r := range rep.Results {
+			fmt.Printf("  %-22s %s\n", r.Automaton.Name, r.Verdict)
+			for _, reason := range r.Reasons {
+				fmt.Printf("    - %s\n", reason)
+			}
+		}
+
+		// Build twice to show the elision payoff for the safe program.
+		full, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{Instrument: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		elided, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+			Instrument: true, Check: true, Elide: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  hooks: %d without checker, %d with elision (%d elided)\n",
+			full.Stats.Hooks, elided.Stats.Hooks, elided.Stats.ElidedHooks)
+	}
+}

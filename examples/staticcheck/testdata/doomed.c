@@ -1,0 +1,21 @@
+/*
+ * A provably-failing temporal assertion: security_check() is defined but
+ * never called, so the required `previously` event can never have
+ * happened when the assertion site runs. The static checker proves the
+ * violation at compile time — no execution needed. (The existing lint
+ * pass does not catch this: the function exists, it is just never on any
+ * path to the site.)
+ */
+
+int security_check(int x) {
+	return 0;
+}
+
+int process(int x) {
+	TESLA_WITHIN(main, previously(security_check(ANY(int))));
+	return x + 1;
+}
+
+int main(int x) {
+	return process(x);
+}

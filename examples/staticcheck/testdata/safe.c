@@ -1,0 +1,24 @@
+/*
+ * A provably-safe temporal assertion: every path into process() runs
+ * audit_log() first, so the static checker (cmd/tesla-check) classifies
+ * the assertion PROVABLY-SAFE and the toolchain can elide all of its
+ * instrumentation.
+ */
+
+int audit_log(int event) {
+	return event - event;
+}
+
+int process(int x) {
+	TESLA_WITHIN(main, previously(audit_log(ANY(int))));
+	return x + 1;
+}
+
+int main(int x) {
+	int logged = audit_log(x);
+	int n = x;
+	while (n > 0) {
+		n = n - 1;
+	}
+	return process(x);
+}

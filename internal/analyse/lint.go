@@ -3,9 +3,11 @@ package analyse
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"tesla/internal/csub"
 	"tesla/internal/spec"
+	"tesla/internal/staticcheck"
 )
 
 // Lint is the static half the paper proposes as future work (§7: "a further
@@ -29,7 +31,11 @@ func (w Warning) String() string {
 // Lint analyses parsed sources and their assertions.
 func Lint(files []*csub.File, assertions []*spec.Assertion) []Warning {
 	known := map[string]bool{}
+	structs := map[string]*csub.StructDef{}
 	for _, f := range files {
+		for _, sd := range f.Structs {
+			structs[sd.Name] = sd
+		}
 		for _, fn := range f.Funcs {
 			known[fn.Name] = true
 			for _, st := range fn.Body {
@@ -64,6 +70,26 @@ func Lint(files []*csub.File, assertions []*spec.Assertion) []Warning {
 					seen[ev.Fn] = true
 					warn(a, "incallstack function %q is never defined or called", ev.Fn)
 				}
+			case *spec.FieldAssignEvent:
+				// An unresolvable struct or field means the instrumenter
+				// can never match a store to this event.
+				if ev.Struct == "" {
+					return
+				}
+				key := ev.Struct + "." + ev.Field
+				if seen[key] {
+					return
+				}
+				sd, ok := structs[ev.Struct]
+				switch {
+				case !ok:
+					seen[key] = true
+					warn(a, "field event names struct %q, which is not defined: the event cannot occur", ev.Struct)
+				case sd.FieldIndex(ev.Field) < 0:
+					seen[key] = true
+					warn(a, "field event names %s.%s, but struct %q has no field %q: the event cannot occur",
+						ev.Struct, ev.Field, ev.Struct, ev.Field)
+				}
 			}
 		})
 	}
@@ -97,6 +123,9 @@ func collectCalls(s csub.Stmt, into map[string]bool) {
 			expr(x.X)
 		case *csub.FieldExpr:
 			expr(x.X)
+		case *csub.IndexExpr:
+			expr(x.X)
+			expr(x.Index)
 		case *csub.AddrExpr:
 			expr(x.X)
 		}
@@ -152,4 +181,36 @@ func LintSources(sources map[string]string) ([]Warning, error) {
 		return nil, err
 	}
 	return Lint(files, assertions), nil
+}
+
+// LintProgram runs the syntactic lint and the static model checker
+// together: checker verdicts sharpen the lint (a PROVABLY-FAILING
+// assertion becomes a warning even when every event function exists),
+// and the full report is returned for callers that want the verdicts.
+func LintProgram(sources map[string]string, entry string) ([]Warning, *staticcheck.Report, error) {
+	warnings, err := LintSources(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := staticcheck.CheckSources(sources, entry)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range rep.Results {
+		if r.Verdict != staticcheck.Failing {
+			continue
+		}
+		w := Warning{
+			Assertion: r.Automaton.Name,
+			Message:   "assertion is provably failing: " + strings.Join(r.Reasons, "; "),
+		}
+		warnings = append(warnings, w)
+	}
+	sort.Slice(warnings, func(i, j int) bool {
+		if warnings[i].Assertion != warnings[j].Assertion {
+			return warnings[i].Assertion < warnings[j].Assertion
+		}
+		return warnings[i].Message < warnings[j].Message
+	})
+	return warnings, rep, nil
 }

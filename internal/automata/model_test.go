@@ -1,0 +1,148 @@
+package automata
+
+import (
+	"testing"
+
+	"tesla/internal/spec"
+)
+
+func TestStateSetOps(t *testing.T) {
+	s := NewStateSet(3, 1, 2, 1, 3)
+	if s.Key() != "1,2,3" {
+		t.Fatalf("key = %q", s.Key())
+	}
+	if !s.Has(2) || s.Has(4) {
+		t.Fatal("membership broken")
+	}
+	u := s.Union(NewStateSet(0, 2, 5))
+	if u.Key() != "0,1,2,3,5" {
+		t.Fatalf("union = %q", u.Key())
+	}
+	// Union must not mutate operands.
+	if s.Key() != "1,2,3" {
+		t.Fatalf("union mutated receiver: %q", s.Key())
+	}
+	if NewStateSet().Key() != "" || NewStateSet().String() != "{}" {
+		t.Fatal("empty set forms")
+	}
+}
+
+func TestMoveMatchesTransTable(t *testing.T) {
+	auto := compileSrc(t, "fig9",
+		`TESLA_SYSCALL_PREVIOUSLY(mac_socket_check_poll(ANY(ptr), so) == 0)`, nil)
+	for sym := range auto.Symbols {
+		for _, tr := range auto.Trans[sym] {
+			to, ok := auto.Move(tr.From, sym)
+			if !ok || to != tr.To {
+				t.Fatalf("Move(%d, %d) = %d,%v; table says %d", tr.From, sym, to, ok, tr.To)
+			}
+		}
+	}
+	// A state with no edge for a symbol reports no move.
+	if _, ok := auto.Move(9999, 0); ok {
+		t.Fatal("phantom move")
+	}
+}
+
+func TestDetStepCondStep(t *testing.T) {
+	auto := compileSrc(t, "two",
+		`TESLA_SYSCALL_PREVIOUSLY(called(audit(ANY(int))))`, nil)
+	begin := auto.BoundBegin().ID
+	var start uint32
+	for _, tr := range auto.Trans[begin] {
+		start = tr.To
+	}
+	evt := auto.SymbolByName("audit(X) [callee]")
+	if evt == nil {
+		// Name formatting may differ; find the one function-entry symbol.
+		for _, s := range auto.Symbols {
+			if s.Kind == KindFuncEntry {
+				evt = s
+			}
+		}
+	}
+	if evt == nil {
+		t.Fatal("no event symbol")
+	}
+	set := NewStateSet(start)
+	det := auto.DetStep(set, evt.ID)
+	cond := auto.CondStep(set, evt.ID)
+	to, ok := auto.Move(start, evt.ID)
+	if !ok {
+		t.Fatalf("no edge for %s from %d", evt.Name, start)
+	}
+	if det.Key() != NewStateSet(to).Key() {
+		t.Fatalf("DetStep = %s, want {%d}", det, to)
+	}
+	// CondStep keeps the source state (an instance may skip the event).
+	if !cond.Has(start) || !cond.Has(to) {
+		t.Fatalf("CondStep = %s, want both %d and %d", cond, start, to)
+	}
+	// A state with no edge stays under DetStep.
+	if auto.DetStep(NewStateSet(to), evt.ID).Key() != NewStateSet(to).Key() {
+		t.Fatal("DetStep must keep stuck states")
+	}
+	// Cleanup legality follows the bound-end column.
+	end := auto.BoundEnd().ID
+	for _, tr := range auto.Trans[end] {
+		if !auto.CanCleanup(tr.From) {
+			t.Fatalf("state %d has a cleanup edge but CanCleanup is false", tr.From)
+		}
+	}
+}
+
+func TestSymbolDeterministic(t *testing.T) {
+	mk := func(args ...spec.ArgPattern) *Symbol {
+		return &Symbol{Kind: KindFuncEntry, Fn: "f", Args: args}
+	}
+	if !mk(spec.Any("int"), spec.Var("x")).Deterministic() {
+		t.Error("ANY + single var must be deterministic")
+	}
+	if mk(spec.Int(0)).Deterministic() {
+		t.Error("constant pattern can fail to match: not deterministic")
+	}
+	if mk(spec.Var("x"), spec.Var("x")).Deterministic() {
+		t.Error("duplicate var implies a consistency check: not deterministic")
+	}
+	if mk(spec.Flags(4)).Deterministic() || mk(spec.Bitmask(4)).Deterministic() {
+		t.Error("flags/bitmask patterns are conditional")
+	}
+	ind := spec.Var("x")
+	ind.Indirect = true
+	if mk(ind).Deterministic() {
+		t.Error("indirect pattern loads memory: not deterministic")
+	}
+	// Exit symbols also check the return pattern.
+	ret := spec.Int(0)
+	ex := &Symbol{Kind: KindFuncExit, Fn: "f", Ret: &ret}
+	if ex.Deterministic() {
+		t.Error("constant return pattern is conditional")
+	}
+	// Field assigns check target and value; OpIncr has no value pattern.
+	fa := &Symbol{Kind: KindFieldAssign, Target: spec.Var("o"), Value: spec.Int(1), AssignOp: spec.OpAssign}
+	if fa.Deterministic() {
+		t.Error("constant value pattern is conditional")
+	}
+	inc := &Symbol{Kind: KindFieldAssign, Target: spec.Var("o"), Value: spec.Int(1), AssignOp: spec.OpIncr}
+	if !inc.Deterministic() {
+		t.Error("increment ignores the value pattern")
+	}
+}
+
+func TestSymbolIndirectAccess(t *testing.T) {
+	plain := &Symbol{Kind: KindFuncEntry, Args: []spec.ArgPattern{spec.Var("x")}}
+	if plain.IndirectAccess() {
+		t.Error("no indirection expected")
+	}
+	ind := spec.Var("x")
+	ind.Indirect = true
+	if !(&Symbol{Kind: KindFuncEntry, Args: []spec.ArgPattern{ind}}).IndirectAccess() {
+		t.Error("indirect arg pattern must be flagged")
+	}
+	if !(&Symbol{Kind: KindFuncEntry, Captures: []SlotCapture{{Indirect: true}}}).IndirectAccess() {
+		t.Error("indirect capture must be flagged")
+	}
+	if !(&Symbol{Kind: KindFieldAssign, Target: ind}).IndirectAccess() {
+		t.Error("indirect field target must be flagged")
+	}
+}

@@ -167,3 +167,29 @@ func TestFig12MeasureBothContexts(t *testing.T) {
 		}
 	}
 }
+
+func TestElisionRuns(t *testing.T) {
+	es, err := ElisionMeasure(ElisionCodebase(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.SafeAssertions != 1 || es.RuntimeAssertions != 1 {
+		t.Fatalf("verdicts = %d safe, %d runtime", es.SafeAssertions, es.RuntimeAssertions)
+	}
+	if es.ElidedHooks+es.ElidedAway != es.FullHooks || es.ElidedAway == 0 {
+		t.Fatalf("hook accounting: %+v", es)
+	}
+	if es.ElidedInstrs >= es.FullInstrs {
+		t.Fatalf("elision did not shrink the program: %d vs %d", es.ElidedInstrs, es.FullInstrs)
+	}
+	if es.ElidedSteps >= es.FullSteps {
+		t.Fatalf("elision did not shorten the run: %d vs %d", es.ElidedSteps, es.FullSteps)
+	}
+	var buf strings.Builder
+	if err := Elision(&buf, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "provably safe") {
+		t.Fatalf("table output:\n%s", buf.String())
+	}
+}

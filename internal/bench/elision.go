@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/toolchain"
+)
+
+// ElisionCodebase is the figure 10 codebase with one more assertion in the
+// client: an audit-trail obligation whose event runs unconditionally before
+// the site, so the static checker proves it PROVABLY-SAFE. The original
+// EVP_VerifyFinal assertion carries a constant return pattern and stays
+// NEEDS-RUNTIME — the pair shows elision removing exactly the provable
+// half of the instrumentation.
+func ElisionCodebase(files, fnsPerFile int) map[string]string {
+	sources := OpenSSLCodebase(files, fnsPerFile)
+	sources["audit.c"] = `
+int audit_log(int event) {
+	return event - event;
+}
+`
+	sources["client.c"] = `
+int fetch_document(int sig) {
+	int ok = EVP_VerifyFinal(1, sig, 64, 2);
+	int body = ssl_f_0_0(sig, ok);
+	TESLA_WITHIN(main, previously(
+		EVP_VerifyFinal(ANY(ptr), ANY(ptr), ANY(int), ANY(ptr)) == 1));
+	TESLA_WITHIN(main, previously(audit_log(ANY(int))));
+	return body;
+}
+int main(int sig) {
+	int logged = audit_log(sig);
+	return fetch_document(sig);
+}
+`
+	return sources
+}
+
+// ElisionStats compares the instrumented program with and without
+// checker-driven elision.
+type ElisionStats struct {
+	// SafeAssertions / RuntimeAssertions partition the verdicts.
+	SafeAssertions, RuntimeAssertions int
+	// FullHooks / ElidedHooks are the hook counts of the two builds;
+	// ElidedAway is how many the checker removed.
+	FullHooks, ElidedHooks, ElidedAway int
+	// FullInstrs / ElidedInstrs count static IR instructions in the two
+	// linked programs.
+	FullInstrs, ElidedInstrs int
+	// FullSteps / ElidedSteps are dynamic vm instruction counts for one
+	// representative run.
+	FullSteps, ElidedSteps int64
+}
+
+// ElisionMeasure builds the codebase twice and runs both programs once.
+func ElisionMeasure(sources map[string]string) (ElisionStats, error) {
+	var es ElisionStats
+
+	full, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+		Instrument: true, Check: true,
+	})
+	if err != nil {
+		return es, err
+	}
+	elided, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+		Instrument: true, Check: true, Elide: true,
+	})
+	if err != nil {
+		return es, err
+	}
+
+	safe, _, runtime := full.Report.Counts()
+	es.SafeAssertions, es.RuntimeAssertions = safe, runtime
+	es.FullHooks = full.Stats.Hooks
+	es.ElidedHooks = elided.Stats.Hooks
+	es.ElidedAway = elided.Stats.ElidedHooks
+	for _, f := range full.Program.Funcs {
+		for _, b := range f.Blocks {
+			es.FullInstrs += len(b.Instrs)
+		}
+	}
+	for _, f := range elided.Program.Funcs {
+		for _, b := range f.Blocks {
+			es.ElidedInstrs += len(b.Instrs)
+		}
+	}
+
+	const arg = 3 // sig % 7 == 3: the verification succeeds
+	_, rtFull, err := full.Run("main", monitor.Options{Handler: core.NopHandler{}}, arg)
+	if err != nil {
+		return es, err
+	}
+	es.FullSteps = rtFull.VM.Steps()
+	_, rtElided, err := elided.Run("main", monitor.Options{Handler: core.NopHandler{}}, arg)
+	if err != nil {
+		return es, err
+	}
+	es.ElidedSteps = rtElided.VM.Steps()
+	return es, nil
+}
+
+// Elision prints the static-checker elision table over the synthetic
+// codebase (the compile-time complement to the figure 9/10 overheads).
+func Elision(w io.Writer, files, fnsPerFile int) error {
+	es, err := ElisionMeasure(ElisionCodebase(files, fnsPerFile))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "static checker elision (%d files, %d fns/file): %d assertions provably safe, %d need runtime\n",
+		files, fnsPerFile, es.SafeAssertions, es.RuntimeAssertions)
+	Table(w, "instrumented hooks", []Row{
+		{Label: "full", Value: float64(es.FullHooks), Unit: "hooks"},
+		{Label: "elided", Value: float64(es.ElidedHooks), Unit: "hooks"},
+	}, "full")
+	Table(w, "static instructions", []Row{
+		{Label: "full", Value: float64(es.FullInstrs), Unit: "instrs"},
+		{Label: "elided", Value: float64(es.ElidedInstrs), Unit: "instrs"},
+	}, "full")
+	Table(w, "dynamic instructions (one run)", []Row{
+		{Label: "full", Value: float64(es.FullSteps), Unit: "steps"},
+		{Label: "elided", Value: float64(es.ElidedSteps), Unit: "steps"},
+	}, "full")
+	return nil
+}

@@ -403,9 +403,60 @@ func (c *fnCompiler) compileAssign(st *csub.AssignStmt) error {
 		c.emit(in)
 		return nil
 
+	case *csub.IndexExpr:
+		// p[i] = v lowers to a plain word store: index stores do not go
+		// through OpFieldStore, so they are invisible to field-assignment
+		// events (struct fields must be named to be instrumentable).
+		addr, err := c.indexAddr(lhs)
+		if err != nil {
+			return err
+		}
+		switch st.Op {
+		case csub.Set:
+			v, _, err := c.compileExpr(st.RHS)
+			if err != nil {
+				return err
+			}
+			c.emit(ir.Instr{Op: ir.OpStore, X: addr, Y: v})
+		case csub.Add:
+			v, _, err := c.compileExpr(st.RHS)
+			if err != nil {
+				return err
+			}
+			old := c.fn.NewReg()
+			c.emit(ir.Instr{Op: ir.OpLoad, Dst: old, X: addr})
+			sum := c.fn.NewReg()
+			c.emit(ir.Instr{Op: ir.OpBin, Dst: sum, Imm: int64(ir.BinAdd), X: old, Y: v})
+			c.emit(ir.Instr{Op: ir.OpStore, X: addr, Y: sum})
+		case csub.Incr:
+			old := c.fn.NewReg()
+			c.emit(ir.Instr{Op: ir.OpLoad, Dst: old, X: addr})
+			one := c.emitConst(1)
+			sum := c.fn.NewReg()
+			c.emit(ir.Instr{Op: ir.OpBin, Dst: sum, Imm: int64(ir.BinAdd), X: old, Y: one})
+			c.emit(ir.Instr{Op: ir.OpStore, X: addr, Y: sum})
+		}
+		return nil
+
 	default:
 		return c.errf(st.Line, "bad assignment target %T", st.LHS)
 	}
+}
+
+// indexAddr computes the word address of p[i]: the base pointer plus the
+// index.
+func (c *fnCompiler) indexAddr(x *csub.IndexExpr) (int, error) {
+	base, _, err := c.compileExpr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	idx, _, err := c.compileExpr(x.Index)
+	if err != nil {
+		return 0, err
+	}
+	addr := c.fn.NewReg()
+	c.emit(ir.Instr{Op: ir.OpBin, Dst: addr, Imm: int64(ir.BinAdd), X: base, Y: idx})
+	return addr, nil
 }
 
 func (c *fnCompiler) fieldOf(t csub.Type, name string, line int) (*ir.StructType, int, error) {
@@ -512,6 +563,15 @@ func (c *fnCompiler) compileExpr(e csub.Expr) (int, csub.Type, error) {
 		r := c.fn.NewReg()
 		c.emit(ir.Instr{Op: ir.OpLoad, Dst: r, X: addr})
 		return r, c.fieldType(btyp, x.Name), nil
+
+	case *csub.IndexExpr:
+		addr, err := c.indexAddr(x)
+		if err != nil {
+			return 0, intT, err
+		}
+		r := c.fn.NewReg()
+		c.emit(ir.Instr{Op: ir.OpLoad, Dst: r, X: addr})
+		return r, intT, nil
 
 	case *csub.AddrExpr:
 		switch inner := x.X.(type) {

@@ -191,6 +191,13 @@ type FieldExpr struct {
 	Line int
 }
 
+// IndexExpr is p[i]: word-indexed access through a pointer.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Line  int
+}
+
 // AddrExpr is &x (function address or variable address).
 type AddrExpr struct{ X Expr }
 
@@ -206,5 +213,6 @@ func (*UnaryExpr) exprNode() {}
 func (*BinExpr) exprNode()   {}
 func (*CallExpr) exprNode()  {}
 func (*FieldExpr) exprNode() {}
+func (*IndexExpr) exprNode() {}
 func (*AddrExpr) exprNode()  {}
 func (*AllocExpr) exprNode() {}

@@ -205,3 +205,55 @@ func TestErrorsCarryPosition(t *testing.T) {
 		t.Fatalf("error lacks position: %v", err)
 	}
 }
+
+func TestParseIndexExpr(t *testing.T) {
+	f := parse(t, `
+struct pair { int a; int b; };
+int main(int i) {
+	struct pair *p = alloc(pair);
+	p[0] = 5;
+	p[1] += 2;
+	p[i]++;
+	int v = p[i + 1];
+	return p[0] + v;
+}
+`)
+	fn := f.Funcs[0]
+	as, ok := fn.Body[1].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", fn.Body[1])
+	}
+	ix, ok := as.LHS.(*IndexExpr)
+	if !ok || as.Op != Set {
+		t.Fatalf("lhs = %T op = %v", as.LHS, as.Op)
+	}
+	if _, ok := ix.X.(*Ident); !ok {
+		t.Fatalf("index base = %T", ix.X)
+	}
+	if lit, ok := ix.Index.(*IntLit); !ok || lit.V != 0 {
+		t.Fatalf("index = %#v", ix.Index)
+	}
+	if as2 := fn.Body[2].(*AssignStmt); as2.Op != Add {
+		t.Fatalf("op = %v", as2.Op)
+	}
+	if as3 := fn.Body[3].(*AssignStmt); as3.Op != Incr {
+		t.Fatalf("op = %v", as3.Op)
+	}
+	// Nested expression index.
+	d := fn.Body[4].(*DeclStmt)
+	if _, ok := d.Decl.Init.(*IndexExpr).Index.(*BinExpr); !ok {
+		t.Fatal("index expression not parsed as expression")
+	}
+}
+
+func TestParseIndexErrors(t *testing.T) {
+	for _, src := range []string{
+		`int main() { int v = p[; return v; }`,
+		`int main() { int v = p[1; return v; }`,
+		`int main() { p[0]() = 2; return 0; }`,
+	} {
+		if _, err := Parse("e.c", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

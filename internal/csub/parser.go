@@ -429,10 +429,10 @@ func (p *parser) parseStmt() (Stmt, error) {
 
 func checkLValue(e Expr) error {
 	switch e.(type) {
-	case *Ident, *FieldExpr:
+	case *Ident, *FieldExpr, *IndexExpr:
 		return nil
 	default:
-		return fmt.Errorf("assignment target must be a variable or field")
+		return fmt.Errorf("assignment target must be a variable, field or index")
 	}
 }
 
@@ -642,6 +642,19 @@ func (p *parser) parsePostfix() (Expr, error) {
 				return nil, err
 			}
 			x = &FieldExpr{X: x, Name: name, Line: line}
+		case p.tok.kind == tPunct && p.tok.text == "[":
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: line}
 		case p.tok.kind == tPunct && p.tok.text == "(":
 			line := p.tok.line
 			if err := p.advance(); err != nil {

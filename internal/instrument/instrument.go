@@ -34,6 +34,13 @@ type Options struct {
 	// modules are instrumented separately and then linked (the LLVM
 	// equivalent relies on linkonce semantics).
 	Suffix string
+	// Elide names automata whose hooks are skipped entirely — the
+	// payoff of a PROVABLY-SAFE verdict from internal/staticcheck. The
+	// automata stay in the monitor's slice (indices compiled into the
+	// remaining hooks are preserved); they simply never receive events,
+	// and their assertion sites lower to constants. Elided counts are
+	// recorded in Stats.
+	Elide map[string]bool
 }
 
 // Stats reports what the instrumenter did, for build reporting and the
@@ -42,6 +49,12 @@ type Stats struct {
 	Hooks       int // hook call sites inserted
 	Translators int // event-translator functions generated
 	Sites       int // assertion sites wired
+	// ElidedHooks/ElidedSites count the hooks and sites that elision
+	// (Options.Elide) suppressed; Hooks+ElidedHooks is invariant across
+	// elision choices. Translators for elided automata are simply not
+	// generated and are not counted.
+	ElidedHooks int
+	ElidedSites int
 }
 
 // Module instruments a clone of mod against the automata and returns it;
@@ -54,6 +67,7 @@ func Module(mod *ir.Module, autos []*automata.Automaton, opts Options) (*ir.Modu
 		slots:   monitor.BoundSlots(autos),
 		defined: opts.DefinedFns,
 		suffix:  opts.Suffix,
+		elide:   opts.Elide,
 		genned:  map[string]bool{},
 	}
 	if ins.defined == nil {
@@ -94,6 +108,7 @@ type instrumenter struct {
 	slots   map[string]int
 	defined map[string]bool
 	suffix  string
+	elide   map[string]bool
 	genned  map[string]bool
 	stats   Stats
 }
@@ -128,23 +143,35 @@ func (ins *instrumenter) instrumentFunc(f *ir.Func) error {
 	// runtime dispatch order (events belong to the bound they occur in).
 	var entryBounds, entryEvents []ir.Instr
 	var retEvents, retBounds []ir.Instr
+	elidedEntry, elidedRet := 0, 0
 
 	for ai, a := range ins.autos {
+		el := ins.elide[a.Name]
 		b := a.Spec.Bound
 		slot := ins.slots[b.String()]
 		if b.Begin.Fn == f.Name {
 			h := ir.Instr{Op: ir.OpCall, Sym: "__tesla_bound_begin", Imm: int64(slot)}
-			if b.Begin.Kind == spec.StaticCall {
+			switch {
+			case el && b.Begin.Kind == spec.StaticCall:
+				elidedEntry++
+			case el:
+				elidedRet++
+			case b.Begin.Kind == spec.StaticCall:
 				entryBounds = append(entryBounds, h)
-			} else {
+			default:
 				retBounds = append(retBounds, h)
 			}
 		}
 		if b.End.Fn == f.Name {
 			h := ir.Instr{Op: ir.OpCall, Sym: "__tesla_bound_end", Imm: int64(slot)}
-			if b.End.Kind == spec.StaticReturn {
+			switch {
+			case el && b.End.Kind == spec.StaticReturn:
+				elidedRet++
+			case el:
+				elidedEntry++
+			case b.End.Kind == spec.StaticReturn:
 				retBounds = append(retBounds, h)
-			} else {
+			default:
 				entryEvents = append(entryEvents, h)
 			}
 		}
@@ -158,11 +185,19 @@ func (ins *instrumenter) instrumentFunc(f *ir.Func) error {
 				if len(sym.Args) > f.NParams {
 					continue // cannot match: fewer params than patterns
 				}
+				if el {
+					elidedEntry++
+					continue
+				}
 				tr := ins.translator(ai, sym)
 				args := paramRegs(len(sym.Args))
 				entryEvents = append(entryEvents, ir.Instr{Op: ir.OpCall, Sym: tr, Args: args})
 			case automata.KindFuncExit:
 				if len(sym.Args) > f.NParams {
+					continue
+				}
+				if el {
+					elidedRet++
 					continue
 				}
 				tr := ins.translator(ai, sym)
@@ -171,6 +206,7 @@ func (ins *instrumenter) instrumentFunc(f *ir.Func) error {
 			}
 		}
 	}
+	ins.stats.ElidedHooks += elidedEntry
 	entryHooks := append(entryBounds, entryEvents...)
 	retHooks := append(retEvents, retBounds...)
 
@@ -193,6 +229,7 @@ func (ins *instrumenter) instrumentFunc(f *ir.Func) error {
 		for _, in := range blk.Instrs {
 			switch in.Op {
 			case ir.OpRet:
+				ins.stats.ElidedHooks += elidedRet
 				for _, h := range retHooks {
 					h2 := h
 					h2.Dst = f.NewReg()
@@ -253,6 +290,10 @@ func (ins *instrumenter) siteCall(in ir.Instr, f *ir.Func) ([]ir.Instr, error) {
 	name := strings.TrimPrefix(in.Sym, compiler.SitePseudoFn+":")
 	for ai, a := range ins.autos {
 		if a.Name == name {
+			if ins.elide[a.Name] {
+				ins.stats.ElidedSites++
+				break
+			}
 			ins.stats.Sites++
 			return []ir.Instr{{
 				Op:   ir.OpCall,
@@ -274,6 +315,7 @@ func (ins *instrumenter) callerHooks(f *ir.Func, in ir.Instr) (pre, post []ir.In
 		return nil, nil
 	}
 	for ai, a := range ins.autos {
+		el := ins.elide[a.Name]
 		for _, sym := range a.Symbols {
 			if sym.ObjC || sym.Fn != in.Sym || ins.calleeSide(sym) {
 				continue
@@ -283,6 +325,10 @@ func (ins *instrumenter) callerHooks(f *ir.Func, in ir.Instr) (pre, post []ir.In
 			}
 			switch sym.Kind {
 			case automata.KindFuncEntry:
+				if el {
+					ins.stats.ElidedHooks++
+					continue
+				}
 				tr := ins.translator(ai, sym)
 				pre = append(pre, ir.Instr{
 					Op: ir.OpCall, Dst: f.NewReg(), Sym: tr,
@@ -290,6 +336,10 @@ func (ins *instrumenter) callerHooks(f *ir.Func, in ir.Instr) (pre, post []ir.In
 				})
 				ins.stats.Hooks++
 			case automata.KindFuncExit:
+				if el {
+					ins.stats.ElidedHooks++
+					continue
+				}
 				tr := ins.translator(ai, sym)
 				post = append(post, ir.Instr{
 					Op: ir.OpCall, Dst: f.NewReg(), Sym: tr,
@@ -315,6 +365,10 @@ func (ins *instrumenter) fieldHooks(f *ir.Func, in ir.Instr) []ir.Instr {
 				continue
 			}
 			if assignKind(sym.AssignOp) != in.Assign {
+				continue
+			}
+			if ins.elide[a.Name] {
+				ins.stats.ElidedHooks++
 				continue
 			}
 			tr := ins.translator(ai, sym)

@@ -301,3 +301,168 @@ func TestUnmatchedSiteIsRemoved(t *testing.T) {
 		t.Fatal("unmatched pseudo-call left behind")
 	}
 }
+
+const srcTwoAutos = `
+int check(int vp) { return 0; }
+int audit(int vp) { return 0; }
+int body(int vp) {
+	TESLA_SYSCALL_PREVIOUSLY(check(vp) == 0);
+	TESLA_SYSCALL_PREVIOUSLY(called(audit(vp)));
+	return vp;
+}
+int amd64_syscall(int vp) {
+	int c = check(vp);
+	int a = audit(vp);
+	return body(vp);
+}
+`
+
+func twoAutos(t *testing.T) (*compiler.Unit, *compiler.Context, []*automata.Automaton) {
+	t.Helper()
+	u, ctx := compileUnit(t, srcTwoAutos)
+	var autos []*automata.Automaton
+	for _, a := range u.Assertions {
+		auto, err := automata.Compile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autos = append(autos, auto)
+	}
+	if len(autos) != 2 {
+		t.Fatalf("autos = %d, want 2", len(autos))
+	}
+	return u, ctx, autos
+}
+
+// TestElisionInvariant checks the accounting contract: for any elision
+// choice, every hook the full build inserts is either inserted or counted
+// as elided — never silently dropped.
+func TestElisionInvariant(t *testing.T) {
+	u, ctx, autos := twoAutos(t)
+	_, full, err := Module(u.Module, autos, Options{DefinedFns: ctx.DefinedFns()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ElidedHooks != 0 || full.ElidedSites != 0 {
+		t.Fatalf("full build elided something: %+v", full)
+	}
+	for _, elide := range []map[string]bool{
+		{autos[0].Name: true},
+		{autos[1].Name: true},
+		{autos[0].Name: true, autos[1].Name: true},
+	} {
+		_, st, err := Module(u.Module, autos, Options{DefinedFns: ctx.DefinedFns(), Elide: elide})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Hooks+st.ElidedHooks != full.Hooks {
+			t.Errorf("elide %v: hooks %d + elided %d != full %d", elide, st.Hooks, st.ElidedHooks, full.Hooks)
+		}
+		if st.Sites+st.ElidedSites != full.Sites {
+			t.Errorf("elide %v: sites %d + elided %d != full %d", elide, st.Sites, st.ElidedSites, full.Sites)
+		}
+		if st.ElidedHooks == 0 {
+			t.Errorf("elide %v: nothing elided", elide)
+		}
+	}
+}
+
+// TestElideOneKeepsOther verifies per-automaton selectivity: eliding one
+// automaton removes exactly its translators while the other automaton's
+// hooks, bound events, and site survive with their original indices.
+func TestElideOneKeepsOther(t *testing.T) {
+	u, ctx, autos := twoAutos(t)
+	m, st, err := Module(u.Module, autos, Options{
+		DefinedFns: ctx.DefinedFns(),
+		Elide:      map[string]bool{autos[0].Name: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countCalls(m, "__tesla_evt_0_") != 0 {
+		t.Fatal("elided automaton 0 still has event hooks")
+	}
+	if countCalls(m, "__tesla_evt_1_") == 0 {
+		t.Fatal("surviving automaton 1 lost its event hooks")
+	}
+	// The surviving automaton still opens and closes its bound.
+	if countCalls(m, "__tesla_bound_begin") == 0 || countCalls(m, "__tesla_bound_end") == 0 {
+		t.Fatal("surviving automaton lost bound hooks")
+	}
+	if st.Sites != 1 || st.ElidedSites != 1 {
+		t.Fatalf("sites = %d elided = %d, want 1/1", st.Sites, st.ElidedSites)
+	}
+	// Elided translators are not generated at all.
+	for _, f := range m.Funcs {
+		if strings.HasPrefix(f.Name, "__tesla_evt_0_") {
+			t.Fatalf("translator %s generated for elided automaton", f.Name)
+		}
+	}
+}
+
+// TestElideAll leaves a module with no instrumentation calls at all; the
+// elided site collapses to a constant 0 so the program still runs.
+func TestElideAll(t *testing.T) {
+	u, ctx, autos := twoAutos(t)
+	m, st, err := Module(u.Module, autos, Options{
+		DefinedFns: ctx.DefinedFns(),
+		Elide:      map[string]bool{autos[0].Name: true, autos[1].Name: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hooks != 0 || st.Sites != 0 || st.Translators != 0 {
+		t.Fatalf("full elision left instrumentation: %+v", st)
+	}
+	if countCalls(m, "__tesla") != 0 {
+		t.Fatal("full elision left __tesla calls")
+	}
+	if countCalls(m, compiler.SitePseudoFn) != 0 {
+		t.Fatal("site pseudo-call survived")
+	}
+}
+
+// TestElideFieldAndCallerHooks covers the two remaining insertion paths:
+// field-store hooks and caller-side hooks for undefined callees.
+func TestElideFieldAndCallerHooks(t *testing.T) {
+	src := `
+struct proc { int p_flag; };
+int body(int x) {
+	int r = ext_check(x);
+	TESLA_SYSCALL_PREVIOUSLY(ext_check(x) == 0);
+	return 0;
+}
+int amd64_syscall(struct proc *p) {
+	TESLA_SYSCALL(eventually(p.p_flag = 256));
+	p->p_flag = 256;
+	return body(0);
+}
+`
+	u, ctx := compileUnit(t, src)
+	var autos []*automata.Automaton
+	for _, a := range u.Assertions {
+		auto, err := automata.Compile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autos = append(autos, auto)
+	}
+	_, full, err := Module(u.Module, autos, Options{DefinedFns: ctx.DefinedFns()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elide := map[string]bool{}
+	for _, a := range autos {
+		elide[a.Name] = true
+	}
+	m, st, err := Module(u.Module, autos, Options{DefinedFns: ctx.DefinedFns(), Elide: elide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hooks+st.ElidedHooks != full.Hooks || st.Hooks != 0 {
+		t.Fatalf("stats = %+v, full = %+v", st, full)
+	}
+	if countCalls(m, "__tesla") != 0 {
+		t.Fatal("field/caller elision left __tesla calls")
+	}
+}

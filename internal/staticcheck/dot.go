@@ -1,0 +1,107 @@
+package staticcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// productGraph records the abstract configurations the checker explored
+// and the events that connect them — the reachable fragment of the
+// program × automaton product. Rendered with the same Graphviz
+// conventions as automata.Dot so the two graphs read side by side.
+type productGraph struct {
+	nodes map[string]pnode
+	edges map[string]pedge
+}
+
+type pnode struct {
+	label  string
+	failed bool
+	closed bool
+}
+
+type pedge struct {
+	from, to, label string
+}
+
+func newProductGraph() *productGraph {
+	return &productGraph{nodes: map[string]pnode{}, edges: map[string]pedge{}}
+}
+
+func nodeFor(cfg config) pnode {
+	if !cfg.active {
+		l := "bound closed"
+		if cfg.failed {
+			l += "\\nfailed"
+		}
+		return pnode{label: l, failed: cfg.failed, closed: true}
+	}
+	d := [3]string{"no events", "events?", "events"}[cfg.delivered]
+	l := fmt.Sprintf("lo=%s hi=%s\\n%s", cfg.lo, cfg.hi, d)
+	if cfg.failed {
+		l += "\\nfailed"
+	}
+	return pnode{label: l, failed: cfg.failed}
+}
+
+// edge records a transition from the config keyed by from to cfg.
+func (g *productGraph) edge(from string, cfg config, label string) {
+	to := cfg.key()
+	if from == to {
+		return
+	}
+	if _, ok := g.nodes[from]; !ok {
+		// Only the entry configuration can appear as a source before it
+		// has been seen as a target.
+		g.nodes[from] = pnode{label: "start", closed: true}
+	}
+	g.nodes[to] = nodeFor(cfg)
+	g.edges[from+"→"+to+"|"+label] = pedge{from: from, to: to, label: label}
+}
+
+// dot renders the graph; nodes are numbered deterministically.
+func (g *productGraph) dot(name string) string {
+	keys := make([]string, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	id := map[string]int{}
+	for i, k := range keys {
+		id[k] = i
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name+" × program")
+	b.WriteString("\trankdir=TB;\n")
+	b.WriteString("\tnode [shape=ellipse fontname=\"Helvetica\"];\n")
+	for _, k := range keys {
+		n := g.nodes[k]
+		attrs := fmt.Sprintf("label=\"%s\"", n.label)
+		if n.failed {
+			attrs += " shape=doublecircle color=red"
+		} else if n.closed {
+			attrs += " style=dashed"
+		}
+		fmt.Fprintf(&b, "\tc%d [%s];\n", id[k], attrs)
+	}
+	edges := make([]pedge, 0, len(g.edges))
+	for _, e := range g.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "\tc%d -> c%d [label=\"%s\"];\n", id[e.from], id[e.to], e.label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,629 @@
+package staticcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tesla/internal/automata"
+	"tesla/internal/compiler"
+	"tesla/internal/ir"
+	"tesla/internal/spec"
+)
+
+// config is the abstract monitor state for one automaton at one program
+// point. The partial order is set inclusion on lo/hi with the scalar
+// fields exact; paths are kept apart (no join), bounded by the per-block
+// valve.
+type config struct {
+	// active: the assertion's bound is open on this path.
+	active bool
+	// delivered: has any event been delivered this bound epoch?
+	// 0 = none, 1 = maybe, 2 = surely. Only touched automata receive the
+	// «cleanup» event at bound exit, so Incomplete verdicts require it.
+	delivered uint8
+	// failed: a violation has definitely been reported on this path.
+	failed bool
+	// lo: possible DFA states of the general instance (empty key, created
+	// by «init»). A superset of the truth; the general instance never
+	// moves on key-binding events (it forks and stays).
+	lo automata.StateSet
+	// hi: superset of the states of every live instance, clones included.
+	hi automata.StateSet
+}
+
+func (c config) key() string {
+	return fmt.Sprintf("%t|%d|%t|%s|%s", c.active, c.delivered, c.failed, c.lo.Key(), c.hi.Key())
+}
+
+// event is one instrumentation point the instrumenter would emit for the
+// automaton under analysis, in the exact order hooks execute.
+type event struct {
+	bound int // 0 = symbol event, 1 = bound begin, 2 = bound end
+	sym   *automata.Symbol
+}
+
+// fnEvents are the per-function hook sequences (entry block prologue and
+// pre-return epilogue), mirroring instrument.instrumentFunc.
+type fnEvents struct {
+	entry []event
+	ret   []event
+}
+
+type checker struct {
+	mod  *ir.Module
+	auto *automata.Automaton
+	opts Options
+
+	fns      map[string]*ir.Func
+	events   map[string]*fnEvents
+	stackFns map[string]bool // functions named by incallstack symbols
+
+	summaries  map[string][]config
+	inProgress map[string]bool
+
+	bail     string          // non-empty: give up, NEEDS-RUNTIME
+	reasons  map[string]bool // possible-violation findings
+	failWhy  map[string]bool // guaranteed-violation findings
+	mayAbort bool            // an indirect hook load may abort the VM
+	escapeNF bool            // a non-failed path exits via a VM error
+
+	graph *productGraph
+}
+
+func checkOne(mod *ir.Module, auto *automata.Automaton, opts Options) *Result {
+	c := &checker{
+		mod:        mod,
+		auto:       auto,
+		opts:       opts,
+		fns:        map[string]*ir.Func{},
+		events:     map[string]*fnEvents{},
+		stackFns:   map[string]bool{},
+		summaries:  map[string][]config{},
+		inProgress: map[string]bool{},
+		reasons:    map[string]bool{},
+		failWhy:    map[string]bool{},
+		graph:      newProductGraph(),
+	}
+	for _, f := range mod.Funcs {
+		c.fns[f.Name] = f
+	}
+	for _, s := range auto.Symbols {
+		if s.Kind == automata.KindInCallStack {
+			c.stackFns[s.Fn] = true
+		}
+	}
+	res := &Result{Automaton: auto, graph: c.graph}
+
+	if auto.Spec.Strict {
+		res.Verdict = NeedsRuntime
+		res.Reasons = []string{"strict automata are not modelled statically"}
+		return res
+	}
+	entry, ok := c.fns[c.opts.Entry]
+	if !ok {
+		res.Verdict = NeedsRuntime
+		res.Reasons = []string{fmt.Sprintf("entry function %q is not defined", c.opts.Entry)}
+		return res
+	}
+	if fn := c.findIndirectCall(entry); fn != "" {
+		res.Verdict = NeedsRuntime
+		res.Reasons = []string{fmt.Sprintf(
+			"indirect call (OpCallPtr) reachable in %s: callees unknown statically", fn)}
+		return res
+	}
+
+	exits := c.analyzeFn(entry, map[string]bool{}, map[string]bool{}, config{})
+
+	switch {
+	case c.bail != "":
+		res.Verdict = NeedsRuntime
+		res.Reasons = []string{c.bail}
+	case len(c.reasons) == 0:
+		res.Verdict = Safe
+	default:
+		allFail := len(exits) > 0
+		for _, e := range exits {
+			if !e.failed {
+				allFail = false
+			}
+		}
+		if allFail && !c.escapeNF && !c.mayAbort {
+			res.Verdict = Failing
+			res.Reasons = sortedReasons(c.failWhy)
+		} else {
+			res.Verdict = NeedsRuntime
+			res.Reasons = sortedReasons(c.reasons)
+		}
+	}
+	return res
+}
+
+func (c *checker) bailf(format string, args ...interface{}) {
+	if c.bail == "" {
+		c.bail = fmt.Sprintf(format, args...)
+	}
+}
+
+func (c *checker) flagPossible(format string, args ...interface{}) {
+	if len(c.reasons) < 32 {
+		c.reasons[fmt.Sprintf(format, args...)] = true
+	}
+}
+
+func (c *checker) flagFailed(format string, args ...interface{}) {
+	if len(c.failWhy) < 32 {
+		c.failWhy[fmt.Sprintf(format, args...)] = true
+	}
+}
+
+// findIndirectCall scans the functions reachable from entry through direct
+// calls for OpCallPtr. One indirect call defeats the whole analysis: the
+// callee set is unknown, so any event could fire there.
+func (c *checker) findIndirectCall(entry *ir.Func) string {
+	seen := map[string]bool{}
+	var visit func(f *ir.Func) string
+	visit = func(f *ir.Func) string {
+		if seen[f.Name] {
+			return ""
+		}
+		seen[f.Name] = true
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpCallPtr:
+					return f.Name
+				case ir.OpCall:
+					if g, ok := c.fns[in.Sym]; ok && !strings.HasPrefix(in.Sym, "__tesla") {
+						if hit := visit(g); hit != "" {
+							return hit
+						}
+					}
+				}
+			}
+		}
+		return ""
+	}
+	return visit(entry)
+}
+
+// calleeSide mirrors instrument.(*instrumenter).calleeSide.
+func (c *checker) calleeSide(sym *automata.Symbol) bool {
+	switch sym.Side {
+	case spec.SideCallee:
+		return true
+	case spec.SideCaller:
+		return false
+	default:
+		return c.opts.DefinedFns[sym.Fn]
+	}
+}
+
+// eventsFor computes the entry/return hook sequences the instrumenter
+// would insert in f for this automaton, in execution order.
+func (c *checker) eventsFor(f *ir.Func) *fnEvents {
+	if ev, ok := c.events[f.Name]; ok {
+		return ev
+	}
+	ev := &fnEvents{}
+	b := c.auto.Spec.Bound
+	// Entry: call-kind bound begin, then call-kind bound end, then
+	// callee-side entry translators in symbol order.
+	if b.Begin.Fn == f.Name && b.Begin.Kind == spec.StaticCall {
+		ev.entry = append(ev.entry, event{bound: 1})
+	}
+	if b.End.Fn == f.Name && b.End.Kind != spec.StaticReturn {
+		ev.entry = append(ev.entry, event{bound: 2})
+	}
+	for _, sym := range c.auto.Symbols {
+		if sym.ObjC || sym.Fn != f.Name || !c.calleeSide(sym) {
+			continue
+		}
+		switch sym.Kind {
+		case automata.KindFuncEntry:
+			if len(sym.Args) <= f.NParams {
+				ev.entry = append(ev.entry, event{sym: sym})
+			}
+		case automata.KindFuncExit:
+			if len(sym.Args) <= f.NParams {
+				ev.ret = append(ev.ret, event{sym: sym})
+			}
+		}
+	}
+	// Return: exit translators, then return-kind bound begin, then
+	// return-kind bound end (instrumenter appends begin before end).
+	if b.Begin.Fn == f.Name && b.Begin.Kind != spec.StaticCall {
+		ev.ret = append(ev.ret, event{bound: 1})
+	}
+	if b.End.Fn == f.Name && b.End.Kind == spec.StaticReturn {
+		ev.ret = append(ev.ret, event{bound: 2})
+	}
+	c.events[f.Name] = ev
+	return ev
+}
+
+// apply advances a config over one event, recording possible and
+// guaranteed violations.
+func (c *checker) apply(cfg config, ev event, where string) config {
+	from := cfg.key()
+	label := ""
+	switch {
+	case ev.bound == 1:
+		label = "«bound begin»"
+		if cfg.active {
+			c.bailf("bound re-opened while already open at %s: epochs would overlap", where)
+			return cfg
+		}
+		cfg.active = true
+		cfg.delivered = 0
+		cfg.lo = automata.NewStateSet(c.auto.Start)
+		cfg.hi = automata.NewStateSet(c.auto.Start)
+
+	case ev.bound == 2:
+		label = "«bound end»"
+		if !cfg.active {
+			return cfg // runtime ignores bound exits with no open bound
+		}
+		if cfg.delivered > 0 {
+			for _, q := range cfg.hi {
+				if !c.auto.CanCleanup(q) {
+					c.flagPossible("%s: an instance may be in state %d at bound exit, which cannot accept «cleanup» (Incomplete)", where, q)
+					break
+				}
+			}
+			if cfg.delivered == 2 {
+				stuck := true
+				for _, q := range cfg.lo {
+					if c.auto.CanCleanup(q) {
+						stuck = false
+						break
+					}
+				}
+				if stuck {
+					cfg.failed = true
+					c.flagFailed("%s: the general instance is stuck in %s at bound exit: Incomplete on every such path", where, cfg.lo)
+				}
+			}
+		}
+		cfg.active = false
+		cfg.delivered = 0
+		cfg.lo, cfg.hi = nil, nil
+
+	default:
+		sym := ev.sym
+		label = sym.Name
+		if !cfg.active {
+			return cfg // events outside the bound are ignored (lazy init)
+		}
+		if sym.IndirectAccess() {
+			c.mayAbort = true
+		}
+		det := sym.Deterministic()
+		moved := c.auto.DetStep(cfg.lo, sym.ID)
+		if sym.ProvidesMask == 0 {
+			if det {
+				cfg.lo = moved
+			} else {
+				cfg.lo = cfg.lo.Union(moved)
+			}
+		}
+		// mask != 0: the event forks a keyed clone; the general instance
+		// stays put, so lo is unchanged.
+		if sym.ProvidesMask == 0 && det {
+			// AnyKey delivery that surely fires: every live instance takes
+			// the conditional update, so the image is exact.
+			cfg.hi = c.auto.DetStep(cfg.hi, sym.ID)
+		} else {
+			cfg.hi = c.auto.CondStep(cfg.hi, sym.ID)
+		}
+		if det {
+			cfg.delivered = 2
+		} else if cfg.delivered < 1 {
+			cfg.delivered = 1
+		}
+	}
+	c.graph.edge(from, cfg, label)
+	return cfg
+}
+
+// applySite handles the assertion site: incallstack pseudo-events fire
+// first for functions on the abstract call chain, then the required site
+// symbol, whose rejection is the canonical violation.
+func (c *checker) applySite(cfg config, stack map[string]bool, where string) config {
+	if !cfg.active {
+		// Outside the bound no instance exists and required events with
+		// no live instances are ignored by libtesla.
+		return cfg
+	}
+	for _, sym := range c.auto.Symbols {
+		if sym.Kind == automata.KindInCallStack && stack[sym.Fn] {
+			cfg = c.apply(cfg, event{sym: sym}, where)
+		}
+	}
+	from := cfg.key()
+	site := c.auto.Site()
+	for _, q := range cfg.lo {
+		if !c.auto.HasMove(q, site.ID) {
+			c.flagPossible("%s: the general instance may be in state %d, which cannot accept the assertion site", where, q)
+			break
+		}
+	}
+	accepted := false
+	for _, q := range cfg.hi {
+		if c.auto.HasMove(q, site.ID) {
+			accepted = true
+			break
+		}
+	}
+	if !accepted {
+		cfg.failed = true
+		c.flagFailed("%s: no live instance can accept the assertion site (states %s)", where, cfg.hi)
+	}
+	if len(c.auto.Vars) == 0 {
+		// With no scope variables the site's key is empty and the general
+		// instance itself takes the transition; every other instance also
+		// receives the event, so both bounds take the exact image.
+		cfg.lo = c.auto.DetStep(cfg.lo, site.ID)
+		cfg.hi = c.auto.DetStep(cfg.hi, site.ID)
+	} else {
+		cfg.hi = c.auto.CondStep(cfg.hi, site.ID)
+	}
+	cfg.delivered = 2
+	c.graph.edge(from, cfg, site.Name)
+	return cfg
+}
+
+// stackKey canonicalises the incallstack-relevant part of the call chain.
+func stackKey(stack map[string]bool) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(stack))
+	for k := range stack {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// analyzeFn returns the configs at f's returns when entered with entry.
+// onChain is the set of functions on the concrete abstract call chain
+// (recursion detection); stack is its projection onto incallstack-relevant
+// functions (part of the summary key, and what sites consult).
+func (c *checker) analyzeFn(f *ir.Func, onChain, stack map[string]bool, entry config) []config {
+	if c.bail != "" {
+		return nil
+	}
+	key := f.Name + "|" + stackKey(stack) + "|" + entry.key()
+	if exits, ok := c.summaries[key]; ok {
+		return exits
+	}
+	if onChain[f.Name] {
+		c.bailf("recursive call to %s: unbounded call chains are not modelled", f.Name)
+		return nil
+	}
+	onChain[f.Name] = true
+	addedStack := false
+	if c.stackFns[f.Name] && !stack[f.Name] {
+		stack[f.Name] = true
+		addedStack = true
+	}
+	defer func() {
+		delete(onChain, f.Name)
+		if addedStack {
+			delete(stack, f.Name)
+		}
+	}()
+
+	ev := c.eventsFor(f)
+	cfg := entry
+	for _, e := range ev.entry {
+		cfg = c.apply(cfg, e, f.Name)
+	}
+	if c.bail != "" {
+		return nil
+	}
+
+	type item struct {
+		blk int
+		cfg config
+	}
+	seen := make([]map[string]bool, len(f.Blocks))
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	var exits []config
+	queue := []item{{0, cfg}}
+	seen[0][cfg.key()] = true
+
+	// Loops need no special casing: config transitions are deterministic
+	// in the event sequence, so a terminating execution whose config
+	// repeats at a loop head has the same continuation — and the same exit
+	// config — as the first, already-explored visit. Diverging executions
+	// never reach an exit and are outside every verdict's quantifier.
+	enqueue := func(cur, target int, cfg config) {
+		k := cfg.key()
+		if seen[target][k] {
+			return
+		}
+		if len(seen[target]) >= c.opts.MaxConfigs {
+			c.bailf("abstract state explosion in %s (more than %d configurations per block)", f.Name, c.opts.MaxConfigs)
+			return
+		}
+		seen[target][k] = true
+		queue = append(queue, item{target, cfg})
+	}
+
+	for len(queue) > 0 && c.bail == "" {
+		it := queue[0]
+		queue = queue[1:]
+		cur := []config{it.cfg}
+		blk := f.Blocks[it.blk]
+
+		for _, in := range blk.Instrs {
+			if c.bail != "" {
+				return nil
+			}
+			switch in.Op {
+			case ir.OpRet:
+				for _, cf := range cur {
+					for _, e := range ev.ret {
+						cf = c.apply(cf, e, f.Name)
+					}
+					exits = append(exits, cf)
+				}
+				cur = nil
+
+			case ir.OpBr:
+				for _, cf := range cur {
+					enqueue(it.blk, in.Blk1, cf)
+				}
+				cur = nil
+
+			case ir.OpCondBr:
+				for _, cf := range cur {
+					enqueue(it.blk, in.Blk1, cf)
+					enqueue(it.blk, in.Blk2, cf)
+				}
+				cur = nil
+
+			case ir.OpCall:
+				cur = c.applyCall(f, in, cur, onChain, stack)
+
+			case ir.OpFieldStore:
+				for i, cf := range cur {
+					cur[i] = c.applyFieldStore(cf, in, f.Name)
+				}
+			}
+			if len(cur) == 0 {
+				break
+			}
+			if len(cur) > c.opts.MaxConfigs {
+				c.bailf("abstract state explosion in %s (more than %d parallel configurations)", f.Name, c.opts.MaxConfigs)
+				return nil
+			}
+		}
+		// A block that ends without a terminator is unreachable IR; any
+		// config still alive simply has no continuation.
+	}
+	if c.bail != "" {
+		return nil
+	}
+	exits = dedupConfigs(exits)
+	c.summaries[key] = exits
+	return exits
+}
+
+// dedupConfigs collapses identical exit configurations so summaries stay
+// small across call-chain fan-out.
+func dedupConfigs(cfgs []config) []config {
+	seen := map[string]bool{}
+	out := cfgs[:0]
+	for _, cf := range cfgs {
+		k := cf.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, cf)
+		}
+	}
+	return out
+}
+
+// applyCall advances each config over one OpCall: assertion sites, direct
+// calls into analysed callees (with caller-side hooks around them), and
+// escapes into undefined functions (a VM error ends the path).
+func (c *checker) applyCall(f *ir.Func, in ir.Instr, cur []config, onChain, stack map[string]bool) []config {
+	where := fmt.Sprintf("%s (line %d)", f.Name, in.Line)
+	if strings.HasPrefix(in.Sym, compiler.SitePseudoFn) {
+		name := strings.TrimPrefix(in.Sym, compiler.SitePseudoFn+":")
+		if name != c.auto.Name {
+			return cur // another assertion's site: no event for this automaton
+		}
+		for i, cf := range cur {
+			cur[i] = c.applySite(cf, stack, where)
+		}
+		return cur
+	}
+	if in.Sym == "print" || strings.HasPrefix(in.Sym, "__tesla") {
+		return cur
+	}
+
+	// Caller-side entry hooks run before the call executes.
+	var pre, post []*automata.Symbol
+	for _, sym := range c.auto.Symbols {
+		if sym.ObjC || sym.Fn != in.Sym || c.calleeSide(sym) {
+			continue
+		}
+		if len(sym.Args) > len(in.Args) {
+			continue
+		}
+		switch sym.Kind {
+		case automata.KindFuncEntry:
+			pre = append(pre, sym)
+		case automata.KindFuncExit:
+			post = append(post, sym)
+		}
+	}
+	for i, cf := range cur {
+		for _, sym := range pre {
+			cf = c.apply(cf, event{sym: sym}, where)
+		}
+		cur[i] = cf
+	}
+
+	callee, defined := c.fns[in.Sym]
+	if !defined {
+		// The VM reports "call to undefined function" and unwinds: the
+		// path ends here. A non-failed escape blocks FAILING verdicts.
+		for _, cf := range cur {
+			if !cf.failed {
+				c.escapeNF = true
+			}
+		}
+		return nil
+	}
+
+	var out []config
+	for _, cf := range cur {
+		rets := c.analyzeFn(callee, onChain, stack, cf)
+		if c.bail != "" {
+			return nil
+		}
+		for _, rc := range rets {
+			for _, sym := range post {
+				rc = c.apply(rc, event{sym: sym}, where)
+			}
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// applyFieldStore fires the field-assignment translators that match the
+// store's struct, field and assignment operator, in symbol order.
+func (c *checker) applyFieldStore(cfg config, in ir.Instr, fname string) config {
+	for _, sym := range c.auto.Symbols {
+		if sym.Kind != automata.KindFieldAssign {
+			continue
+		}
+		if sym.Struct != in.Struct.Name || sym.Field != in.Struct.Fields[in.Field].Name {
+			continue
+		}
+		if assignKind(sym.AssignOp) != in.Assign {
+			continue
+		}
+		cfg = c.apply(cfg, event{sym: sym}, fmt.Sprintf("%s (line %d)", fname, in.Line))
+	}
+	return cfg
+}
+
+func assignKind(op spec.AssignOp) ir.AssignKind {
+	switch op {
+	case spec.OpAddAssign:
+		return ir.AssignAdd
+	case spec.OpIncr:
+		return ir.AssignIncr
+	default:
+		return ir.AssignSet
+	}
+}

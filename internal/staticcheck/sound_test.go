@@ -1,0 +1,176 @@
+package staticcheck_test
+
+import (
+	"testing"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/staticcheck"
+	"tesla/internal/toolchain"
+)
+
+// TestVerdictSoundness checks the two claims the verdicts make against the
+// real runtime, over a range of inputs for every corpus program:
+//
+//   - PROVABLY-SAFE: no execution may report a violation.
+//   - PROVABLY-FAILING: every completing execution reports one.
+//
+// NEEDS-RUNTIME programs are exercised too (they must run, and at least
+// the conditional ones genuinely violate on some input and pass on
+// another — the reason a runtime is needed).
+func TestVerdictSoundness(t *testing.T) {
+	for _, tc := range verdictPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			sources := map[string]string{tc.name + ".c": tc.src}
+			build, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+				Instrument: true, Check: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdict := build.Report.Results[0].Verdict
+			if verdict != tc.verdict {
+				t.Fatalf("toolchain verdict = %s, want %s", verdict, tc.verdict)
+			}
+			for arg := int64(-3); arg <= 10; arg++ {
+				h := core.NewCountingHandler()
+				_, _, err := build.Run("main", monitor.Options{Handler: h}, arg)
+				if err != nil {
+					// The run died (e.g. undefined callee): it did not
+					// complete, so FAILING makes no claim about it. SAFE
+					// still forbids violations before the death.
+					if verdict == staticcheck.Safe && len(h.Violations()) > 0 {
+						t.Fatalf("arg %d: SAFE program violated before dying: %v", arg, h.Violations())
+					}
+					continue
+				}
+				switch verdict {
+				case staticcheck.Safe:
+					if n := len(h.Violations()); n > 0 {
+						t.Fatalf("arg %d: SAFE program reported %d violations", arg, n)
+					}
+				case staticcheck.Failing:
+					if len(h.Violations()) == 0 {
+						t.Fatalf("arg %d: FAILING program completed without a violation", arg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConditionalNeedsRuntime pins why "conditional_event" cannot be
+// classified statically: it truly violates for some inputs and truly
+// passes for others.
+func TestConditionalNeedsRuntime(t *testing.T) {
+	var src string
+	for _, tc := range verdictPrograms {
+		if tc.name == "conditional_event" {
+			src = tc.src
+		}
+	}
+	build, err := toolchain.BuildProgram(map[string]string{"c.c": src}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(arg int64) int {
+		h := core.NewCountingHandler()
+		if _, _, err := build.Run("main", monitor.Options{Handler: h}, arg); err != nil {
+			t.Fatal(err)
+		}
+		return len(h.Violations())
+	}
+	if run(1) != 0 {
+		t.Fatal("event branch taken: no violation expected")
+	}
+	if run(-1) == 0 {
+		t.Fatal("event branch skipped: violation expected")
+	}
+}
+
+// TestElisionPreservesBehaviour builds the two-assertion program with and
+// without elision: the safe assertion loses all of its hooks, the failing
+// one keeps them and reports the same violations either way.
+func TestElisionPreservesBehaviour(t *testing.T) {
+	sources := map[string]string{"two.c": `
+int audit_log(int x) { return 0; }
+int security_check(int x) { return 0; }
+int do_work(int x) {
+	TESLA_WITHIN(main, previously(audit_log(ANY(int))));
+	TESLA_WITHIN(main, previously(security_check(ANY(int))));
+	return x;
+}
+int main(int x) {
+	int r = audit_log(x);
+	return do_work(x);
+}
+`}
+	full, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+		Instrument: true, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elided, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+		Instrument: true, Check: true, Elide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.ElidedHooks != 0 {
+		t.Fatalf("full build elided hooks: %+v", full.Stats)
+	}
+	if elided.Stats.ElidedHooks == 0 || elided.Stats.ElidedSites != 1 {
+		t.Fatalf("elision did not happen: %+v", elided.Stats)
+	}
+	if elided.Stats.Hooks+elided.Stats.ElidedHooks != full.Stats.Hooks {
+		t.Fatalf("hook accounting: full %d, elided %d+%d",
+			full.Stats.Hooks, elided.Stats.Hooks, elided.Stats.ElidedHooks)
+	}
+	if elided.Stats.Hooks >= full.Stats.Hooks {
+		t.Fatalf("elision removed nothing: %d vs %d", elided.Stats.Hooks, full.Stats.Hooks)
+	}
+
+	for arg := int64(-2); arg <= 2; arg++ {
+		hf, he := core.NewCountingHandler(), core.NewCountingHandler()
+		rf, _, err := full.Run("main", monitor.Options{Handler: hf}, arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, _, err := elided.Run("main", monitor.Options{Handler: he}, arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf != re {
+			t.Fatalf("arg %d: return values differ: %d vs %d", arg, rf, re)
+		}
+		// The surviving (failing) assertion must still be caught.
+		if len(hf.Violations()) != len(he.Violations()) {
+			t.Fatalf("arg %d: violations differ: %d vs %d",
+				arg, len(hf.Violations()), len(he.Violations()))
+		}
+		if len(he.Violations()) == 0 {
+			t.Fatalf("arg %d: elided build lost the surviving assertion's violation", arg)
+		}
+	}
+}
+
+// TestElideRequiresProof makes sure only SAFE automata are elided: the
+// doomed and runtime-dependent assertions keep their instrumentation.
+func TestElideRequiresProof(t *testing.T) {
+	for _, tc := range verdictPrograms {
+		if tc.verdict == staticcheck.Safe {
+			continue
+		}
+		sources := map[string]string{tc.name + ".c": tc.src}
+		b, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+			Instrument: true, Check: true, Elide: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Stats.ElidedHooks != 0 || b.Stats.ElidedSites != 0 {
+			t.Fatalf("%s: unproved assertion was elided: %+v", tc.name, b.Stats)
+		}
+	}
+}

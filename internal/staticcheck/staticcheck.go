@@ -1,0 +1,219 @@
+// Package staticcheck is the compile-time half the paper leaves as future
+// work (§7): an interprocedural model checker that decides, before the
+// program ever runs, which assertions need their runtime instrumentation at
+// all. It walks the IR control-flow graph from the program entry point,
+// abstracts every instruction the instrumenter would hook (function entries
+// and returns, call sites, field stores, assertion sites, bound events)
+// into the automaton alphabet, and propagates the product of the program
+// state with an abstraction of the libtesla instance store.
+//
+// Every assertion is classified as one of:
+//
+//   - PROVABLY-SAFE: no reachable path can produce a violation. The
+//     toolchain may elide all of the assertion's hooks (instrument.Options
+//     .Elide) — the paper's overhead, deleted at compile time.
+//   - PROVABLY-FAILING: every terminating execution violates the
+//     assertion. This is a compile-time error in spirit: the missing-check
+//     bug of the opensslcve example is caught without running the program.
+//   - NEEDS-RUNTIME: neither could be proved; the assertion keeps its
+//     instrumentation and libtesla decides at run time.
+//
+// The abstraction tracks, per control-flow point and per automaton, the
+// set of DFA states the general instance (the one created by «init» with
+// an empty key) may occupy (LO), a superset of the states occupied by any
+// live instance including clones (HI), whether the bound is open, whether
+// any event has been delivered in the current bound epoch, and whether a
+// violation has already definitely occurred. Soundness dictates the
+// asymmetry: SAFE verdicts are refuted from HI (any instance could be the
+// one that fails) but FAILING verdicts are proved from LO (the general
+// instance always exists once the bound has been touched, so if it is
+// surely stuck, the whole assertion surely fails). See DESIGN.md for the
+// transfer functions and the soundness caveats.
+package staticcheck
+
+import (
+	"sort"
+
+	"tesla/internal/automata"
+	"tesla/internal/compiler"
+	"tesla/internal/csub"
+	"tesla/internal/ir"
+	"tesla/internal/manifest"
+)
+
+// Verdict classifies one assertion.
+type Verdict int
+
+const (
+	// NeedsRuntime means the checker could not decide; keep the hooks.
+	NeedsRuntime Verdict = iota
+	// Safe means no reachable execution can violate the assertion.
+	Safe
+	// Failing means every terminating execution violates the assertion.
+	Failing
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "PROVABLY-SAFE"
+	case Failing:
+		return "PROVABLY-FAILING"
+	default:
+		return "NEEDS-RUNTIME"
+	}
+}
+
+// Result is the verdict for one automaton, with the reasons that support
+// (or, for NEEDS-RUNTIME, that blocked) the classification.
+type Result struct {
+	Automaton *automata.Automaton
+	Verdict   Verdict
+	// Reasons are human-readable findings: for NEEDS-RUNTIME, what the
+	// checker could not rule out; for FAILING, where the violation is
+	// forced. Sorted and deduplicated.
+	Reasons []string
+
+	graph *productGraph
+}
+
+// Dot renders the explored product graph (abstract monitor configurations
+// × program events) in the visual conventions of automata.Dot.
+func (r *Result) Dot() string { return r.graph.dot(r.Automaton.Name) }
+
+// Report is the verdict set for a whole program, in automaton order.
+type Report struct {
+	Results []*Result
+}
+
+// Result finds the result for a named assertion, or nil.
+func (r *Report) Result(name string) *Result {
+	for _, res := range r.Results {
+		if res.Automaton.Name == name {
+			return res
+		}
+	}
+	return nil
+}
+
+// Counts tallies verdicts.
+func (r *Report) Counts() (safe, failing, runtime int) {
+	for _, res := range r.Results {
+		switch res.Verdict {
+		case Safe:
+			safe++
+		case Failing:
+			failing++
+		default:
+			runtime++
+		}
+	}
+	return
+}
+
+// SafeSet returns the names of PROVABLY-SAFE automata, the set handed to
+// instrument.Options.Elide.
+func (r *Report) SafeSet() map[string]bool {
+	out := map[string]bool{}
+	for _, res := range r.Results {
+		if res.Verdict == Safe {
+			out[res.Automaton.Name] = true
+		}
+	}
+	return out
+}
+
+// Options configures a check.
+type Options struct {
+	// Entry is the program entry point; "" means main.
+	Entry string
+	// DefinedFns mirrors instrument.Options.DefinedFns: the set used to
+	// pick caller- vs callee-side hooks. Nil means the module's functions.
+	DefinedFns map[string]bool
+	// MaxConfigs bounds distinct abstract configurations per basic block
+	// before the checker gives up on an automaton (NEEDS-RUNTIME). Zero
+	// means DefaultMaxConfigs.
+	MaxConfigs int
+}
+
+// DefaultMaxConfigs is the per-block configuration valve.
+const DefaultMaxConfigs = 64
+
+// Check classifies every automaton against the (uninstrumented) program
+// module. The module is not mutated.
+func Check(mod *ir.Module, autos []*automata.Automaton, opts Options) *Report {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	if opts.MaxConfigs <= 0 {
+		opts.MaxConfigs = DefaultMaxConfigs
+	}
+	if opts.DefinedFns == nil {
+		opts.DefinedFns = map[string]bool{}
+		for _, f := range mod.Funcs {
+			opts.DefinedFns[f.Name] = true
+		}
+	}
+	rep := &Report{}
+	for _, a := range autos {
+		rep.Results = append(rep.Results, checkOne(mod, a, opts))
+	}
+	return rep
+}
+
+// CheckSources runs the front end (parse, compile, analyse, link) and then
+// Check — the path cmd/tesla-check and analyse.LintProgram share. The
+// linked module is the raw, uninstrumented program.
+func CheckSources(sources map[string]string, entry string) (*Report, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*csub.File
+	for _, n := range names {
+		f, err := csub.Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	ctx, err := compiler.NewContext(files...)
+	if err != nil {
+		return nil, err
+	}
+	var mods []*ir.Module
+	var manifests []*manifest.File
+	for _, f := range files {
+		u, err := compiler.CompileFile(f, ctx)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, u.Module)
+		manifests = append(manifests, manifest.FromAssertions(f.Name, u.Assertions))
+	}
+	combined, err := manifest.Combine(manifests...)
+	if err != nil {
+		return nil, err
+	}
+	autos, err := combined.Compile()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Link("program", mods...)
+	if err != nil {
+		return nil, err
+	}
+	return Check(prog, autos, Options{Entry: entry, DefinedFns: ctx.DefinedFns()}), nil
+}
+
+// sortedReasons normalises a reason set for deterministic output.
+func sortedReasons(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

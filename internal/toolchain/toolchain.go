@@ -19,6 +19,7 @@ import (
 	"tesla/internal/ir"
 	"tesla/internal/manifest"
 	"tesla/internal/monitor"
+	"tesla/internal/staticcheck"
 	"tesla/internal/vm"
 )
 
@@ -38,12 +39,36 @@ type Build struct {
 	Program *ir.Module
 	// Stats aggregates instrumentation statistics across units.
 	Stats instrument.Stats
+	// Report is the static checker's verdict set, when the build ran with
+	// BuildOptions.Check (nil otherwise).
+	Report *staticcheck.Report
+}
+
+// BuildOptions selects pipeline stages beyond the plain compile.
+type BuildOptions struct {
+	// Instrument inserts hooks, translators and monitor wiring; false
+	// strips the assertion pseudo-calls (the "Default" baseline build).
+	Instrument bool
+	// Check runs the static model checker over the linked pre-
+	// instrumentation program and stores the verdicts in Build.Report.
+	Check bool
+	// Elide skips hook generation for PROVABLY-SAFE automata. Requires
+	// Check and Instrument. Assertions the checker could not prove keep
+	// their instrumentation.
+	Elide bool
+	// Entry is the program entry point for the checker; "" means main.
+	Entry string
 }
 
 // BuildProgram runs the full pipeline over the sources (name → text).
 // With instrumented=false the assertion pseudo-calls are stripped,
 // producing the "Default" baseline build.
 func BuildProgram(sources map[string]string, instrumented bool) (*Build, error) {
+	return BuildProgramOpts(sources, BuildOptions{Instrument: instrumented})
+}
+
+// BuildProgramOpts is BuildProgram with stage selection.
+func BuildProgramOpts(sources map[string]string, opts BuildOptions) (*Build, error) {
 	b := &Build{}
 
 	names := make([]string, 0, len(sources))
@@ -82,16 +107,39 @@ func BuildProgram(sources map[string]string, instrumented bool) (*Build, error) 
 
 	// Instrument (or strip) each module, then optimise and link.
 	var mods []*ir.Module
-	if instrumented {
+	if opts.Instrument || opts.Check {
 		b.Autos, err = b.Manifest.Compile()
 		if err != nil {
 			return nil, err
 		}
-		defined := ctx.DefinedFns()
+	}
+	defined := ctx.DefinedFns()
+	if opts.Check {
+		// The checker sees the raw linked program: uninstrumented, with
+		// the site pseudo-calls still in place.
+		raw := make([]*ir.Module, 0, len(b.Units))
+		for _, u := range b.Units {
+			raw = append(raw, u.Module)
+		}
+		prog, err := ir.Link("program", raw...)
+		if err != nil {
+			return nil, err
+		}
+		b.Report = staticcheck.Check(prog, b.Autos, staticcheck.Options{
+			Entry:      opts.Entry,
+			DefinedFns: defined,
+		})
+	}
+	if opts.Instrument {
+		var elide map[string]bool
+		if opts.Elide && b.Report != nil {
+			elide = b.Report.SafeSet()
+		}
 		for i, u := range b.Units {
 			m, stats, err := instrument.Module(u.Module, b.Autos, instrument.Options{
 				DefinedFns: defined,
 				Suffix:     fmt.Sprintf("__m%d", i),
+				Elide:      elide,
 			})
 			if err != nil {
 				return nil, err
@@ -99,10 +147,15 @@ func BuildProgram(sources map[string]string, instrumented bool) (*Build, error) 
 			b.Stats.Hooks += stats.Hooks
 			b.Stats.Translators += stats.Translators
 			b.Stats.Sites += stats.Sites
+			b.Stats.ElidedHooks += stats.ElidedHooks
+			b.Stats.ElidedSites += stats.ElidedSites
 			ir.Optimize(m)
 			mods = append(mods, m)
 		}
 	} else {
+		// Uninstrumented build: no monitor will attach, so drop the autos
+		// compiled for the checker (the Report keeps its own references).
+		b.Autos = nil
 		for _, u := range b.Units {
 			m := instrument.Strip(u.Module)
 			ir.Optimize(m)

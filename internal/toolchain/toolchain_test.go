@@ -531,3 +531,61 @@ int main(int skip2) { return amd64_syscall(3, skip2); }
 		t.Fatalf("only stage2 should fail: %v", vs)
 	}
 }
+
+func TestBuildWithCheckAndElide(t *testing.T) {
+	// progFig4 goes through a function pointer, so its assertion stays
+	// NEEDS-RUNTIME: the checker must not elide anything, and the report
+	// must say why.
+	b, err := BuildProgramOpts(map[string]string{"fig4.c": progFig4}, BuildOptions{
+		Instrument: true, Check: true, Elide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Report == nil || len(b.Report.Results) != 1 {
+		t.Fatalf("report = %+v", b.Report)
+	}
+	r := b.Report.Results[0]
+	if r.Verdict.String() != "NEEDS-RUNTIME" {
+		t.Fatalf("verdict = %s", r.Verdict)
+	}
+	if len(r.Reasons) == 0 || !strings.Contains(r.Reasons[0], "indirect call") {
+		t.Fatalf("reasons = %v", r.Reasons)
+	}
+	if b.Stats.ElidedHooks != 0 || b.Stats.ElidedSites != 0 {
+		t.Fatalf("unproved assertion elided: %+v", b.Stats)
+	}
+	// The instrumentation still works end to end.
+	h := core.NewCountingHandler()
+	if _, _, err := b.Run("main", monitor.Options{Handler: h}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Violations()) != 0 {
+		t.Fatalf("checked run flagged: %v", h.Violations())
+	}
+	h2 := core.NewCountingHandler()
+	if _, _, err := b.Run("main", monitor.Options{Handler: h2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Violations()) != 1 {
+		t.Fatalf("unchecked run not flagged: %v", h2.Violations())
+	}
+}
+
+func TestCheckOnlyBuild(t *testing.T) {
+	// Check without Instrument: the program is stripped (no monitor, no
+	// hooks) but the report is still produced.
+	b, err := BuildProgramOpts(map[string]string{"fig4.c": progFig4}, BuildOptions{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Report == nil || len(b.Report.Results) != 1 {
+		t.Fatalf("report = %+v", b.Report)
+	}
+	if len(b.Autos) != 0 {
+		t.Fatalf("uninstrumented build kept autos: %d", len(b.Autos))
+	}
+	if ret, _, err := b.Run("main", monitor.Options{}, 0); err != nil || ret != 7 {
+		t.Fatalf("stripped run = %d, %v", ret, err)
+	}
+}
