@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test check bench
+.PHONY: ci fmt vet build test race check bench
 
-ci: fmt vet build test check
+ci: fmt vet build test race check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -20,6 +20,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The monitor's global-context path and the trace recorder are exercised
+# from many goroutines; keep them provably race-free.
+race:
+	$(GO) test -race ./...
 
 # The static checker over the demo programs: safe.c must pass (exit 0),
 # doomed.c must be rejected (exit 1).

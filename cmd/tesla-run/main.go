@@ -1,33 +1,39 @@
 // tesla-run compiles, instruments and executes a csub program under TESLA:
 // the full §4 workflow in one command. Violations are reported as they are
 // detected; with -failstop (TESLA's default behaviour in the paper) the
-// first violation aborts execution.
+// first violation aborts execution. With -trace, every program and
+// automaton lifecycle event is recorded to a trace file for offline replay
+// and shrinking with tesla-trace.
 //
 // Usage:
 //
-//	tesla-run [-plain] [-failstop] [-debug] [-entry main] [-arg N]... file.c...
+//	tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-entry main] [-arg N]... file.c...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tesla/internal/core"
 	"tesla/internal/monitor"
 	"tesla/internal/toolchain"
+	"tesla/internal/trace"
 )
 
 func main() {
 	plain := flag.Bool("plain", false, "run without instrumentation (Default build)")
 	failstop := flag.Bool("failstop", false, "abort on the first violation")
 	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
+	tracePath := flag.String("trace", "", "record an event trace to this file (.json for JSON, else binary)")
+	traceCap := flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
 	entry := flag.String("entry", "main", "entry function")
 	var args intList
 	flag.Var(&args, "arg", "integer argument to the entry function (repeatable)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tesla-run [-plain] [-failstop] [-debug] [-arg N]... file.c...")
+		fmt.Fprintln(os.Stderr, "usage: tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-arg N]... file.c...")
 		os.Exit(2)
 	}
 
@@ -50,29 +56,73 @@ func main() {
 	if *debug {
 		handler = append(handler, &core.PrintHandler{W: os.Stderr})
 	}
-	rt, err := build.NewRuntime(monitor.Options{Handler: handler, FailFast: *failstop})
+	opts := monitor.Options{FailFast: *failstop}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(build.Autos, *traceCap)
+		handler = append(handler, rec)
+		opts.Tap = rec
+	}
+	opts.Handler = handler
+	rt, err := build.NewRuntime(opts)
 	if err != nil {
 		fatal(err)
 	}
 	rt.VM.Out = os.Stdout
 
-	ret, err := rt.VM.Run(*entry, args...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tesla-run: execution aborted: %v\n", err)
+	ret, runErr := rt.VM.Run(*entry, args...)
+	// The trace is saved on every exit path: an aborted (fail-stop) run's
+	// trace is exactly what shrinking wants.
+	if rec != nil {
+		saveTrace(rec, *tracePath)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "tesla-run: execution aborted: %v\n", runErr)
+		exitViolations(counting)
 		os.Exit(1)
 	}
 	fmt.Printf("%s returned %d\n", *entry, ret)
 
-	if vs := counting.Violations(); len(vs) > 0 {
-		fmt.Printf("%d TESLA violation(s):\n", len(vs))
-		for _, v := range vs {
-			fmt.Printf("  %v\n", v)
-		}
+	if exitViolations(counting) {
 		os.Exit(1)
 	}
 	if !*plain {
 		fmt.Printf("all %d assertions held\n", len(build.Autos))
 	}
+}
+
+// exitViolations prints the detailed violation list on stdout and the
+// one-line machine-greppable summary on stderr, returning whether any
+// violation occurred.
+func exitViolations(counting *core.CountingHandler) bool {
+	vs := counting.Violations()
+	if len(vs) == 0 {
+		return false
+	}
+	fmt.Printf("%d TESLA violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Printf("  %v\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "tesla-run: FAIL: %d violation(s), first: %s\n", len(vs), vs[0].Signature())
+	return true
+}
+
+func saveTrace(rec *trace.Recorder, path string) {
+	tr := rec.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteJSON(f, tr)
+	} else {
+		err = trace.Write(f, tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tesla-run: wrote %d event(s) to %s\n", len(tr.Events), path)
 }
 
 type intList []int64

@@ -1,0 +1,213 @@
+// tesla-trace works with recorded TESLA event traces (produced by
+// `tesla-run -trace` or any trace.Recorder): inspect the timeline, replay
+// it offline against the program's automata, delta-debug a violating trace
+// to a minimal counterexample, and render the counterexample as the
+// automaton path taken.
+//
+// Usage:
+//
+//	tesla-trace show trace.tr
+//	tesla-trace replay trace.tr file.c...
+//	tesla-trace shrink [-o min.tr] [-json] trace.tr file.c...
+//	tesla-trace report [-dot] [-class name] trace.tr file.c...
+//	tesla-trace convert [-json] [-o out.tr] trace.tr
+//
+// Subcommands that rebuild automata (replay, shrink, report) need the same
+// csub sources the trace was recorded from; the trace file itself carries
+// the automata names and is refused on mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/automata"
+	"tesla/internal/toolchain"
+	"tesla/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "show":
+		cmdShow(args)
+	case "replay":
+		cmdReplay(args)
+	case "shrink":
+		cmdShrink(args)
+	case "report":
+		cmdReport(args)
+	case "convert":
+		cmdConvert(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tesla-trace show trace.tr
+  tesla-trace replay trace.tr file.c...
+  tesla-trace shrink [-o min.tr] [-json] trace.tr file.c...
+  tesla-trace report [-dot] [-class name] trace.tr file.c...
+  tesla-trace convert [-json] [-o out.tr] trace.tr`)
+	os.Exit(2)
+}
+
+func cmdShow(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := loadTrace(fs.Arg(0))
+	fmt.Printf("trace: format v%d, %d events, %d automata", tr.FormatVersion, len(tr.Events), len(tr.Automata))
+	if tr.Dropped > 0 {
+		fmt.Printf(", %d dropped", tr.Dropped)
+	}
+	fmt.Println()
+	for i, name := range tr.Automata {
+		fmt.Printf("  automaton %d: %s\n", i, name)
+	}
+	for i := range tr.Events {
+		fmt.Println(tr.Events[i].String())
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		usage()
+	}
+	tr := loadTrace(fs.Arg(0))
+	autos := buildAutos(fs.Args()[1:])
+	res, err := trace.Replay(tr, autos)
+	if err != nil {
+		fatal(err)
+	}
+	for name, n := range res.Accepts {
+		fmt.Printf("%s: %d acceptance(s)\n", name, n)
+	}
+	if len(res.Violations) == 0 {
+		fmt.Printf("replay of %d events: all assertions held\n", len(tr.Events))
+		return
+	}
+	fmt.Printf("replay of %d events: %d violation(s):\n", len(tr.Events), len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  %v\n", v)
+	}
+	os.Exit(1)
+}
+
+func cmdShrink(args []string) {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	out := fs.String("o", "", "write the minimal trace here (default stdout)")
+	asJSON := fs.Bool("json", false, "write the minimal trace as JSON")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		usage()
+	}
+	tr := loadTrace(fs.Arg(0))
+	autos := buildAutos(fs.Args()[1:])
+	res, err := trace.Shrink(tr, autos)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "shrink: %s: kept %d of %d program event(s)\n",
+		res.Target, res.Kept, res.Kept+res.Removed)
+	writeTrace(res.Trace, *out, *asJSON)
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	dot := fs.Bool("dot", false, "emit the automaton path as Graphviz DOT")
+	class := fs.String("class", "", "automaton to render (default: the first violation's)")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		usage()
+	}
+	tr := loadTrace(fs.Arg(0))
+	autos := buildAutos(fs.Args()[1:])
+	if *dot {
+		g, err := trace.Dot(tr, autos, *class)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(g)
+		return
+	}
+	if err := trace.Report(os.Stdout, tr, autos); err != nil {
+		fatal(err)
+	}
+}
+
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default stdout)")
+	asJSON := fs.Bool("json", false, "write JSON instead of binary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	writeTrace(loadTrace(fs.Arg(0)), *out, *asJSON)
+}
+
+func loadTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func writeTrace(tr *trace.Trace, path string, asJSON bool) {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if asJSON {
+		err = trace.WriteJSON(w, tr)
+	} else {
+		err = trace.Write(w, tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func buildAutos(paths []string) []*automata.Automaton {
+	sources := map[string]string{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources[path] = string(data)
+	}
+	build, err := toolchain.BuildProgram(sources, true)
+	if err != nil {
+		fatal(err)
+	}
+	return build.Autos
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tesla-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command trace demonstrates the offline debugging pipeline: record a
+// violating run into an event trace, replay the trace through fresh
+// automata to reproduce the verdict without re-running the program, then
+// delta-debug the trace down to a minimal counterexample and report it.
+//
+//	go run ./examples/trace
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/toolchain"
+	"tesla/internal/trace"
+)
+
+// fixtureArg is the input the doomed fixture runs with; any value works
+// (the violation is input-independent), it just keys the instances.
+const fixtureArg = 42
+
+func main() {
+	dir := "examples/trace/testdata"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := demo(os.Stdout, dir); err != nil {
+		fmt.Fprintln(os.Stderr, "trace demo:", err)
+		os.Exit(1)
+	}
+}
+
+// demo runs the whole pipeline against dir/doomed.c and writes the
+// narrated result to w. The output is deterministic (single VM thread,
+// VM-step clock), which is what makes the golden-file test possible.
+func demo(w io.Writer, dir string) error {
+	src, err := os.ReadFile(filepath.Join(dir, "doomed.c"))
+	if err != nil {
+		return err
+	}
+	build, err := toolchain.BuildProgram(map[string]string{"doomed.c": string(src)}, true)
+	if err != nil {
+		return err
+	}
+
+	// 1. Record: run the program live with the recorder tapped into both
+	// layers — program events via the monitor tap, lifecycle events via
+	// the store handler.
+	live := core.NewCountingHandler()
+	rec := trace.NewRecorder(build.Autos, 0)
+	ret, _, err := build.Run("main", monitor.Options{
+		Handler: core.MultiHandler{live, rec},
+		Tap:     rec,
+	}, fixtureArg)
+	if err != nil {
+		return err
+	}
+	tr := rec.Snapshot()
+	fmt.Fprintf(w, "recorded: main(%d) = %d, %d event(s) (%d program), %d live violation(s)\n",
+		fixtureArg, ret, len(tr.Events), len(tr.Programs()), len(live.Violations()))
+
+	// 2. Replay: feed the saved trace back through fresh automata. No VM,
+	// no program — same verdicts.
+	res, err := trace.Replay(tr, build.Autos)
+	if err != nil {
+		return err
+	}
+	liveSigs := make([]string, len(live.Violations()))
+	for i, v := range live.Violations() {
+		liveSigs[i] = v.Signature()
+	}
+	if !reflect.DeepEqual(res.Signatures(), liveSigs) {
+		return fmt.Errorf("replay diverged: live %v, replay %v", liveSigs, res.Signatures())
+	}
+	fmt.Fprintf(w, "replayed: verdicts reproduced offline: %v\n", res.Signatures())
+
+	// 3. Shrink: ddmin the program events down to a 1-minimal subsequence
+	// that still triggers the same violation.
+	shrunk, err := trace.Shrink(tr, build.Autos)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "shrunk:   kept %d of %d program event(s) (removed %d) for target %s\n",
+		shrunk.Kept, shrunk.Kept+shrunk.Removed, shrunk.Removed, shrunk.Target)
+
+	// 4. Report: render the minimal counterexample.
+	fmt.Fprintf(w, "\n")
+	return trace.Report(w, shrunk.Trace, build.Autos)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestDemoMatchesGolden pins the whole pipeline end to end: the recorded
+// event counts, the offline-reproduced verdict, and — the point of the
+// exercise — the shrunk counterexample's exact timeline. Run with -update
+// after an intentional format change.
+func TestDemoMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demo(&buf, "testdata"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	const golden = "testdata/demo.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("demo output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+
+	// Belt and braces on the shrinker's contract, independent of exact
+	// formatting: events were removed and the target violation survived.
+	if !strings.Contains(got, "removed 5") {
+		t.Errorf("expected the shrinker to remove the 5 noise events:\n%s", got)
+	}
+	if !strings.Contains(got, "violation: doomed.c:15: no-instance") {
+		t.Errorf("shrunk counterexample lost the violation:\n%s", got)
+	}
+}

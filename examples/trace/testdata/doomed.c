@@ -1,0 +1,26 @@
+/*
+ * A doomed run with noise. The assertion in do_work() requires a prior
+ * security_check(x) for its own argument, but main() only ever checks
+ * the wrong keys (x+1 .. x+4) before calling it. The run therefore
+ * violates, and every wrong-key check is trace noise the ddmin shrinker
+ * can delete: the minimal counterexample is the assertion's bound plus
+ * the site itself.
+ */
+
+int security_check(int x) {
+	return 0;
+}
+
+int do_work(int x) {
+	TESLA_WITHIN(main, previously(security_check(x)));
+	return x;
+}
+
+int main(int x) {
+	int i = 1;
+	while (i < 5) {
+		int r = security_check(x + i);
+		i = i + 1;
+	}
+	return do_work(x);
+}

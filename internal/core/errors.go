@@ -56,6 +56,13 @@ type Violation struct {
 	Symbol string
 }
 
+// Signature identifies a violation up to the failing assertion and failure
+// mode, ignoring the concrete key and state. Trace shrinking uses it to
+// decide whether a reduced trace still fails "the same way".
+func (v *Violation) Signature() string {
+	return v.Class.Name + "/" + v.Kind.String()
+}
+
 func (v *Violation) Error() string {
 	switch v.Kind {
 	case VerdictNoInstance:

@@ -1,0 +1,29 @@
+package dtrace
+
+import (
+	"fmt"
+
+	"tesla/internal/trace"
+)
+
+// Summarize rebuilds the kernel default handler's aggregations from a
+// recorded trace, offline: the same per-(class, edge) transition counts,
+// acceptance counts and failure counts that a live dtrace.Handler would
+// have accumulated, without re-running anything. This is the bridge from
+// the trace subsystem back to the paper's DTrace-style reporting — record
+// once in production, aggregate later on a developer machine.
+func Summarize(tr *trace.Trace) *Handler {
+	h := NewHandler(nil)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case trace.KindTransition:
+			h.Transitions.Add(h.key(ev.Class, fmt.Sprintf("%d->%d", ev.From, ev.To), ev.Symbol), 1)
+		case trace.KindAccept:
+			h.Accepts.Add(h.key(ev.Class), 1)
+		case trace.KindFail:
+			h.Failures.Add(h.key(ev.Class, ev.Verdict.String()), 1)
+		}
+	}
+	return h
+}

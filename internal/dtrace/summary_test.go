@@ -1,0 +1,64 @@
+package dtrace_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tesla/internal/core"
+	"tesla/internal/dtrace"
+	"tesla/internal/monitor"
+	"tesla/internal/toolchain"
+	"tesla/internal/trace"
+)
+
+// TestSummarizeMatchesLiveHandler records a violating run with both a live
+// dtrace handler and a trace recorder attached, then checks that offline
+// summarisation of the trace reproduces the live aggregations exactly.
+func TestSummarizeMatchesLiveHandler(t *testing.T) {
+	src := `
+int security_check(int x) { return 0; }
+int do_work(int x) {
+	TESLA_WITHIN(main, previously(security_check(x)));
+	return x;
+}
+int main(int x) {
+	int r = security_check(x + 1);
+	return do_work(x);
+}
+`
+	build, err := toolchain.BuildProgram(map[string]string{"prog.c": src}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dtrace.NewHandler(nil)
+	rec := trace.NewRecorder(build.Autos, 0)
+	if _, _, err := build.Run("main", monitor.Options{
+		Handler: core.MultiHandler{live, rec},
+		Tap:     rec,
+	}, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	offline := dtrace.Summarize(rec.Snapshot())
+	for _, pair := range []struct {
+		name      string
+		live, off *dtrace.Aggregation
+	}{
+		{"transitions", live.Transitions, offline.Transitions},
+		{"accepts", live.Accepts, offline.Accepts},
+		{"failures", live.Failures, offline.Failures},
+	} {
+		lk, ok := pair.live.Keys(), pair.off.Keys()
+		if !reflect.DeepEqual(lk, ok) {
+			t.Fatalf("%s keys differ: live %v, offline %v", pair.name, lk, ok)
+		}
+		if len(lk) == 0 && pair.name != "accepts" {
+			t.Fatalf("%s: live handler recorded nothing — test exercises nothing", pair.name)
+		}
+		for _, k := range lk {
+			if l, o := pair.live.Count(k), pair.off.Count(k); l != o {
+				t.Fatalf("%s[%q]: live %d, offline %d", pair.name, k, l, o)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tesla/internal/automata"
 	"tesla/internal/core"
@@ -13,6 +14,9 @@ import (
 type Options struct {
 	// Handler receives lifecycle notifications (nil = discard).
 	Handler core.Handler
+	// Tap observes raw program events per thread (nil = no tracing).
+	// Threads pay one nil check per event when no tap is installed.
+	Tap Tap
 	// Memory resolves indirect (&x) patterns (nil = raw values).
 	Memory Memory
 	// FailFast propagates the first violation as an error from the
@@ -63,6 +67,9 @@ type Monitor struct {
 	// synchronisation for the global context).
 	muGlobal   sync.Mutex
 	globalLazy lazyState
+
+	// nextThread numbers threads for trace attribution.
+	nextThread atomic.Int32
 }
 
 // lazyState is the per-context record of initialisation/cleanup events.
@@ -220,9 +227,12 @@ func (m *Monitor) InstrumentedFns() map[string]bool {
 // concurrently; cross-thread behaviour belongs to global-context automata.
 type Thread struct {
 	m     *Monitor
+	id    int
 	store *core.Store
 	stack []string
 	lazy  lazyState
+	tap   ThreadTap
+	clock func() int64
 
 	// StackQuery, when set, answers incallstack queries instead of the
 	// thread's own call stack — the IR interpreter supplies its frame
@@ -235,10 +245,14 @@ type Thread struct {
 func (m *Monitor) NewThread() *Thread {
 	th := &Thread{
 		m:     m,
+		id:    int(m.nextThread.Add(1)) - 1,
 		store: core.NewStore(core.PerThread, m.opts.Handler),
 		lazy:  newLazyState(len(m.boundSlot), len(m.autos)),
 	}
 	th.store.FailFast = m.opts.FailFast
+	if m.opts.Tap != nil {
+		th.tap = m.opts.Tap.ThreadTap(th.id)
+	}
 	for _, a := range m.autos {
 		if a.Spec.Context != spec.Global {
 			th.store.Register(a.Class)
@@ -249,6 +263,20 @@ func (m *Monitor) NewThread() *Thread {
 
 // Store exposes the thread's per-thread store (introspection/tests).
 func (th *Thread) Store() *core.Store { return th.store }
+
+// ID is the thread's monitor-wide number (trace attribution).
+func (th *Thread) ID() int { return th.id }
+
+// SetClock installs a time source stamped onto tapped events; the VM
+// supplies its step counter so trace records carry instruction time.
+func (th *Thread) SetClock(f func() int64) { th.clock = f }
+
+func (th *Thread) now() int64 {
+	if th.clock != nil {
+		return th.clock()
+	}
+	return 0
+}
 
 // storeFor picks the store an automaton's events go to.
 func (th *Thread) storeFor(idx int) *core.Store {
@@ -271,6 +299,9 @@ func (th *Thread) lazyFor(idx int) (*lazyState, *sync.Mutex) {
 // transitions for automata bounded by fn and entry-event symbols naming fn,
 // and pushes fn onto the thread's call stack for incallstack patterns.
 func (th *Thread) Call(fn string, args ...core.Value) error {
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{Kind: ProgCall, Time: th.now(), Fn: fn, Vals: args})
+	}
 	th.stack = append(th.stack, fn)
 	var first error
 	for _, slot := range th.m.beginCall[fn] {
@@ -296,6 +327,9 @@ func (th *Thread) Call(fn string, args ...core.Value) error {
 // Return reports return from fn: exit-event symbols (which may constrain
 // arguments and the return value) and «cleanup» for automata bounded by fn.
 func (th *Thread) Return(fn string, ret core.Value, args ...core.Value) error {
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{Kind: ProgReturn, Time: th.now(), Fn: fn, Ret: ret, HasRet: true, Vals: args})
+	}
 	var first error
 	for _, ref := range th.m.retIdx[fn] {
 		if key, ok := matchFunc(ref.sym, args, ret, true, th.m.opts.Memory); ok {
@@ -324,6 +358,9 @@ func (th *Thread) Return(fn string, ret core.Value, args ...core.Value) error {
 func (th *Thread) Send(selector string, receiver core.Value, args ...core.Value) error {
 	var first error
 	all := append([]core.Value{receiver}, args...)
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{Kind: ProgSend, Time: th.now(), Fn: selector, Vals: all})
+	}
 	for _, ref := range th.m.msgIdx[selector] {
 		if key, ok := matchFunc(ref.sym, all, 0, false, th.m.opts.Memory); ok {
 			if err := th.deliver(ref, key); err != nil && first == nil {
@@ -338,6 +375,9 @@ func (th *Thread) Send(selector string, receiver core.Value, args ...core.Value)
 func (th *Thread) SendReturn(selector string, ret core.Value, receiver core.Value, args ...core.Value) error {
 	var first error
 	all := append([]core.Value{receiver}, args...)
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{Kind: ProgSendReturn, Time: th.now(), Fn: selector, Ret: ret, HasRet: true, Vals: all})
+	}
 	for _, ref := range th.m.msgRetIdx[selector] {
 		if key, ok := matchFunc(ref.sym, all, ret, true, th.m.opts.Memory); ok {
 			if err := th.deliver(ref, key); err != nil && first == nil {
@@ -350,6 +390,12 @@ func (th *Thread) SendReturn(selector string, ret core.Value, receiver core.Valu
 
 // Assign reports a structure-field assignment.
 func (th *Thread) Assign(structName, field string, target core.Value, op spec.AssignOp, value core.Value) error {
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{
+			Kind: ProgAssign, Time: th.now(), Fn: structName, Field: field,
+			Op: op, Vals: []core.Value{target, value},
+		})
+	}
 	var first error
 	for _, ref := range th.m.fieldIdx[structName+"."+field] {
 		if key, ok := matchField(ref.sym, target, op, value, th.m.opts.Memory); ok {
@@ -369,19 +415,62 @@ func (th *Thread) Site(name string, vals ...core.Value) error {
 	if !ok {
 		return fmt.Errorf("monitor: unknown assertion site %q", name)
 	}
-	auto := th.m.autos[ref.idx]
-	var first error
+	return th.site(ref.idx, vals)
+}
+
+// site resolves incallstack branches against the live call stack, emits the
+// tap event carrying the resolved branch IDs (so replay needs no stack),
+// then dispatches.
+func (th *Thread) site(autoIdx int, vals []core.Value) error {
+	auto := th.m.autos[autoIdx]
+	var inStack []int
 	for _, s := range auto.Symbols {
 		if s.Kind == automata.KindInCallStack && th.InStack(s.Fn) {
-			if err := th.deliver(symRef{idx: ref.idx, sym: s}, core.AnyKey); err != nil && first == nil {
-				first = err
-			}
+			inStack = append(inStack, s.ID)
 		}
 	}
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{
+			Kind: ProgSite, Time: th.now(), Fn: auto.Name,
+			Auto: autoIdx, Vals: vals, InStack: inStack,
+		})
+	}
+	return th.siteResolved(autoIdx, inStack, vals)
+}
+
+// siteResolved dispatches a site event whose incallstack branches are
+// already decided: inStack lists the symbol IDs that matched.
+func (th *Thread) siteResolved(autoIdx int, inStack []int, vals []core.Value) error {
+	auto := th.m.autos[autoIdx]
+	var first error
+	for _, id := range inStack {
+		if id < 0 || id >= len(auto.Symbols) {
+			return fmt.Errorf("monitor: symbol %d out of range for %s", id, auto.Name)
+		}
+		if err := th.deliver(symRef{idx: autoIdx, sym: auto.Symbols[id]}, core.AnyKey); err != nil && first == nil {
+			first = err
+		}
+	}
+	ref := symRef{idx: autoIdx, sym: auto.Site()}
 	if err := th.deliver(ref, siteKey(auto, vals)); err != nil && first == nil {
 		first = err
 	}
 	return first
+}
+
+// SiteResolved replays a recorded site event without consulting any call
+// stack: the trace already captured which incallstack branches fired.
+func (th *Thread) SiteResolved(autoIdx int, inStack []int, vals ...core.Value) error {
+	if autoIdx < 0 || autoIdx >= len(th.m.autos) {
+		return fmt.Errorf("monitor: automaton index %d out of range", autoIdx)
+	}
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{
+			Kind: ProgSite, Time: th.now(), Fn: th.m.autos[autoIdx].Name,
+			Auto: autoIdx, Vals: vals, InStack: inStack,
+		})
+	}
+	return th.siteResolved(autoIdx, inStack, vals)
 }
 
 // InStack reports whether fn is on the thread's call stack.
@@ -410,6 +499,12 @@ func (th *Thread) Deliver(autoIdx, symID int, vals ...core.Value) error {
 	if symID < 0 || symID >= len(auto.Symbols) {
 		return fmt.Errorf("monitor: symbol %d out of range for %s", symID, auto.Name)
 	}
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{
+			Kind: ProgDeliver, Time: th.now(), Fn: auto.Name,
+			Auto: autoIdx, Sym: symID, Vals: vals,
+		})
+	}
 	sym := auto.Symbols[symID]
 	key := core.AnyKey
 	for i, c := range sym.Captures {
@@ -426,20 +521,7 @@ func (th *Thread) SiteByIndex(autoIdx int, vals ...core.Value) error {
 	if autoIdx < 0 || autoIdx >= len(th.m.autos) {
 		return fmt.Errorf("monitor: automaton index %d out of range", autoIdx)
 	}
-	auto := th.m.autos[autoIdx]
-	var first error
-	for _, s := range auto.Symbols {
-		if s.Kind == automata.KindInCallStack && th.InStack(s.Fn) {
-			if err := th.deliver(symRef{idx: autoIdx, sym: s}, core.AnyKey); err != nil && first == nil {
-				first = err
-			}
-		}
-	}
-	ref := symRef{idx: autoIdx, sym: auto.Site()}
-	if err := th.deliver(ref, siteKey(auto, vals)); err != nil && first == nil {
-		first = err
-	}
-	return first
+	return th.site(autoIdx, vals)
 }
 
 // AutoIndex returns the index of the named automaton, or -1.
@@ -453,10 +535,20 @@ func (m *Monitor) AutoIndex(name string) int {
 }
 
 // BoundBegin drives bound-slot entry directly (IR hook entry point).
-func (th *Thread) BoundBegin(slot int) error { return th.boundBegin(slot) }
+func (th *Thread) BoundBegin(slot int) error {
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{Kind: ProgBoundBegin, Time: th.now(), Slot: slot})
+	}
+	return th.boundBegin(slot)
+}
 
 // BoundEnd drives bound-slot exit directly (IR hook entry point).
-func (th *Thread) BoundEnd(slot int) error { return th.boundEnd(slot) }
+func (th *Thread) BoundEnd(slot int) error {
+	if th.tap != nil {
+		th.tap.ProgramEvent(ProgramEvent{Kind: ProgBoundEnd, Time: th.now(), Slot: slot})
+	}
+	return th.boundEnd(slot)
+}
 
 // deliver routes a matched event to the automaton's store, materialising a
 // lazy «init» first if needed.

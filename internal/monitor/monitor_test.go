@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"sync"
 	"testing"
 
 	"tesla/internal/automata"
@@ -489,5 +490,126 @@ func TestFreeVariables(t *testing.T) {
 	th.Return("amd64_syscall", 0)
 	if vs := h.Violations(); len(vs) != 1 {
 		t.Fatalf("owner mismatch not detected: %v", vs)
+	}
+}
+
+// TestGlobalCloneCleanupInterleaving hammers the global store's clone and
+// cleanup paths from many concurrent threads: each goroutine creates its
+// own monitor thread, opens the shared global bound, prepares a keyed
+// instance (forcing a clone of the (∗) instance), reaches the site and
+// closes the bound, while an observer snapshots the store. Verdicts are
+// timing-dependent (another thread's bound exit may expunge an instance
+// first), so the assertions are the structural invariants that must hold
+// under every interleaving: no duplicate active keys, live count within
+// the class limit, no overflow, and an empty store after a final cleanup.
+func TestGlobalCloneCleanupInterleaving(t *testing.T) {
+	src := `TESLA_GLOBAL(call(start_op), returnfrom(end_op), previously(prepare(x) == 0))`
+	auto := mustAuto(t, "glob", src, nil)
+	h := core.NewCountingHandler()
+	m := MustNew(Options{Handler: h}, auto)
+
+	checkSnapshot := func() {
+		seen := map[core.Key]bool{}
+		live := 0
+		for _, inst := range m.GlobalStore().Instances(auto.Class) {
+			if !inst.Active {
+				continue
+			}
+			live++
+			if inst.Key.Mask != 0 {
+				if seen[inst.Key] {
+					t.Errorf("duplicate active key %s in global store", inst.Key)
+				}
+				seen[inst.Key] = true
+			}
+		}
+		if live > core.DefaultInstanceLimit {
+			t.Errorf("live instances %d exceed limit %d", live, core.DefaultInstanceLimit)
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Observer: concurrent store snapshots while events fly.
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				checkSnapshot()
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := m.NewThread()
+			for r := 0; r < rounds; r++ {
+				x := core.Value(g*rounds + r)
+				th.Call("start_op")
+				th.Call("prepare", x)
+				th.Return("prepare", 0, x)
+				th.Site("glob", x)
+				th.Return("end_op", 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	checkSnapshot()
+
+	for _, v := range h.Violations() {
+		// Interleaved cleanup may legitimately yield no-instance verdicts;
+		// anything else means the automaton itself misbehaved.
+		if v.Kind != core.VerdictNoInstance {
+			t.Fatalf("unexpected verdict under interleaving: %v", v)
+		}
+	}
+
+	// A final bound cycle must expunge everything the run left behind.
+	th := m.NewThread()
+	th.Call("start_op")
+	th.Return("end_op", 0)
+	if n := m.GlobalStore().LiveCount(auto.Class); n != 0 {
+		t.Fatalf("%d live instances after final cleanup", n)
+	}
+}
+
+// TestThreadIDsUniqueUnderConcurrency pins the thread numbering used for
+// trace attribution: concurrent NewThread calls must hand out distinct IDs.
+func TestThreadIDsUniqueUnderConcurrency(t *testing.T) {
+	auto := mustAuto(t, "ids", `TESLA_SYSCALL_PREVIOUSLY(chk(x) == 0)`, nil)
+	m := MustNew(Options{}, auto)
+	const n = 32
+	ids := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- m.NewThread().ID()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[int]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate thread id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d distinct ids, want %d", len(seen), n)
 	}
 }

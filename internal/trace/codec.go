@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/spec"
+)
+
+// Trace files come in two interchangeable encodings sharing one format
+// version: a compact binary form (the default — varint fields, delta-coded
+// sequence numbers, interned strings) and a JSON form for inspection and
+// toolability. Read distinguishes them by the first byte; both encoders
+// write Version and both decoders reject any other version.
+
+// magic opens every binary trace file.
+const magic = "TESLATRC"
+
+// maxTraceEvents caps what a decoder will allocate for one trace,
+// protecting against corrupt or hostile length prefixes.
+const maxTraceEvents = 1 << 26
+
+// Write encodes the trace in compact binary form.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	enc := &encoder{w: bw, strings: map[string]uint64{}}
+	enc.uvarint(uint64(Version))
+	enc.uvarint(t.Dropped)
+	enc.uvarint(uint64(len(t.Automata)))
+	for _, name := range t.Automata {
+		enc.str(name)
+	}
+	enc.uvarint(uint64(len(t.Events)))
+	var prevSeq uint64
+	for i := range t.Events {
+		ev := &t.Events[i]
+		enc.uvarint(ev.Seq - prevSeq)
+		prevSeq = ev.Seq
+		enc.varint(int64(ev.Thread))
+		enc.byte(byte(ev.Kind))
+		enc.varint(ev.Time)
+		switch ev.Kind {
+		case KindProgram:
+			enc.byte(byte(ev.Prog))
+			enc.str(ev.Fn)
+			enc.str(ev.Field)
+			enc.varint(int64(ev.Op))
+			enc.varint(int64(ev.Auto))
+			enc.varint(int64(ev.Sym))
+			enc.varint(int64(ev.Slot))
+			if ev.HasRet {
+				enc.byte(1)
+				enc.varint(int64(ev.Ret))
+			} else {
+				enc.byte(0)
+			}
+			enc.uvarint(uint64(len(ev.Vals)))
+			for _, v := range ev.Vals {
+				enc.varint(int64(v))
+			}
+			enc.uvarint(uint64(len(ev.InStack)))
+			for _, id := range ev.InStack {
+				enc.varint(int64(id))
+			}
+		default:
+			enc.str(ev.Class)
+			enc.str(ev.Symbol)
+			enc.key(ev.Key)
+			enc.key(ev.ParentKey)
+			enc.uvarint(uint64(ev.From))
+			enc.uvarint(uint64(ev.To))
+			enc.uvarint(uint64(ev.State))
+			enc.varint(int64(ev.Verdict))
+		}
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	return bw.Flush()
+}
+
+// WriteJSON encodes the trace as indented JSON.
+func WriteJSON(w io.Writer, t *Trace) error {
+	t.FormatVersion = Version
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(t)
+}
+
+// Read decodes a trace in either encoding, sniffing the first byte: JSON
+// traces start with '{', binary traces with the magic string.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("trace: empty input: %w", err)
+	}
+	if first[0] == '{' {
+		return readJSON(br)
+	}
+	return readBinary(br)
+}
+
+func readJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: bad JSON trace: %w", err)
+	}
+	if t.FormatVersion != Version {
+		return nil, fmt.Errorf("trace: format version %d, this build reads %d", t.FormatVersion, Version)
+	}
+	return &t, nil
+}
+
+func readBinary(br *bufio.Reader) (*Trace, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
+		return nil, fmt.Errorf("trace: not a trace file (bad magic)")
+	}
+	dec := &decoder{r: br}
+	if v := dec.uvarint(); dec.err == nil && v != Version {
+		return nil, fmt.Errorf("trace: format version %d, this build reads %d", v, Version)
+	}
+	t := &Trace{FormatVersion: Version}
+	t.Dropped = dec.uvarint()
+	nAutos := dec.uvarint()
+	if dec.err == nil && nAutos > maxTraceEvents {
+		return nil, fmt.Errorf("trace: implausible automata count %d", nAutos)
+	}
+	for i := uint64(0); i < nAutos && dec.err == nil; i++ {
+		t.Automata = append(t.Automata, dec.str())
+	}
+	nEvents := dec.uvarint()
+	if dec.err == nil && nEvents > maxTraceEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", nEvents)
+	}
+	var prevSeq uint64
+	for i := uint64(0); i < nEvents && dec.err == nil; i++ {
+		var ev Event
+		prevSeq += dec.uvarint()
+		ev.Seq = prevSeq
+		ev.Thread = int(dec.varint())
+		ev.Kind = Kind(dec.byte())
+		ev.Time = dec.varint()
+		switch ev.Kind {
+		case KindProgram:
+			ev.Prog = monitor.ProgKind(dec.byte())
+			ev.Fn = dec.str()
+			ev.Field = dec.str()
+			ev.Op = spec.AssignOp(dec.varint())
+			ev.Auto = int(dec.varint())
+			ev.Sym = int(dec.varint())
+			ev.Slot = int(dec.varint())
+			if dec.byte() != 0 {
+				ev.HasRet = true
+				ev.Ret = core.Value(dec.varint())
+			}
+			if n := dec.uvarint(); n > 0 && dec.err == nil {
+				if n > maxTraceEvents {
+					return nil, fmt.Errorf("trace: implausible value count %d", n)
+				}
+				ev.Vals = make([]core.Value, n)
+				for j := range ev.Vals {
+					ev.Vals[j] = core.Value(dec.varint())
+				}
+			}
+			if n := dec.uvarint(); n > 0 && dec.err == nil {
+				if n > maxTraceEvents {
+					return nil, fmt.Errorf("trace: implausible instack count %d", n)
+				}
+				ev.InStack = make([]int, n)
+				for j := range ev.InStack {
+					ev.InStack[j] = int(dec.varint())
+				}
+			}
+		case KindInit, KindClone, KindTransition, KindAccept, KindFail, KindOverflow:
+			ev.Class = dec.str()
+			ev.Symbol = dec.str()
+			ev.Key = dec.key()
+			ev.ParentKey = dec.key()
+			ev.From = uint32(dec.uvarint())
+			ev.To = uint32(dec.uvarint())
+			ev.State = uint32(dec.uvarint())
+			ev.Verdict = core.VerdictKind(dec.varint())
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("trace: truncated or corrupt trace: %w", dec.err)
+	}
+	return t, nil
+}
+
+// encoder accumulates binary output, deferring the first error. Strings are
+// interned: the first occurrence writes ref == table length followed by the
+// bytes; later occurrences write only the ref.
+type encoder struct {
+	w       *bufio.Writer
+	buf     [binary.MaxVarintLen64]byte
+	strings map[string]uint64
+	err     error
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	if ref, ok := e.strings[s]; ok {
+		e.uvarint(ref)
+		return
+	}
+	ref := uint64(len(e.strings))
+	e.strings[s] = ref
+	e.uvarint(ref)
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+// key writes the bound mask then only the bound slots' values.
+func (e *encoder) key(k core.Key) {
+	e.uvarint(uint64(k.Mask))
+	for i := 0; i < core.KeySize; i++ {
+		if k.Bound(i) {
+			e.varint(int64(k.Data[i]))
+		}
+	}
+}
+
+type decoder struct {
+	r       *bufio.Reader
+	strings []string
+	err     error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	d.err = err
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	d.err = err
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	d.err = err
+	return v
+}
+
+func (d *decoder) str() string {
+	ref := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if ref < uint64(len(d.strings)) {
+		return d.strings[ref]
+	}
+	if ref != uint64(len(d.strings)) {
+		d.err = fmt.Errorf("string ref %d out of order (table has %d)", ref, len(d.strings))
+		return ""
+	}
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return ""
+	}
+	s := string(buf)
+	d.strings = append(d.strings, s)
+	return s
+}
+
+func (d *decoder) key() core.Key {
+	var k core.Key
+	mask := d.uvarint()
+	if d.err != nil {
+		return k
+	}
+	if mask >= 1<<core.KeySize {
+		d.err = fmt.Errorf("key mask %#x exceeds KeySize=%d", mask, core.KeySize)
+		return k
+	}
+	k.Mask = uint32(mask)
+	for i := 0; i < bits.Len32(k.Mask); i++ {
+		if k.Bound(i) {
+			k.Data[i] = core.Value(d.varint())
+		}
+	}
+	return k
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+)
+
+// Recorder captures a live run into ring buffers. It plugs into the runtime
+// at both notification layers:
+//
+//   - as a monitor.Tap it sees every raw program event per thread, before
+//     dispatch, and records it in that thread's own ring;
+//   - as a core.Handler it sees every automaton lifecycle event and records
+//     it in a shared lifecycle ring (handlers run store-side, where the
+//     originating thread is unknown for the global context; those events
+//     carry Thread == -1).
+//
+// One atomic sequence counter spans all rings, so a program event always
+// carries a smaller Seq than the lifecycle events it causes, and Snapshot
+// can merge the rings into a single totally-ordered trace. Install it with:
+//
+//	rec := trace.NewRecorder(build.Autos, 0)
+//	rt, err := build.NewRuntime(monitor.Options{Tap: rec, Handler: rec})
+//	...
+//	tr := rec.Snapshot()
+type Recorder struct {
+	names []string
+	cap   int
+
+	seq atomic.Uint64
+
+	mu    sync.Mutex // guards sinks (growth) and life
+	life  *ring
+	sinks []*threadSink
+}
+
+// threadSink is one thread's ring. Its mutex is uncontended during normal
+// recording (only the owning thread pushes); it exists so Snapshot can read
+// concurrently with live threads without a race.
+type threadSink struct {
+	rec *Recorder
+	id  int
+
+	mu   sync.Mutex
+	ring *ring
+}
+
+// NewRecorder creates a recorder for a run over the given automata.
+// perThreadCap bounds each thread's ring (and the shared lifecycle ring);
+// <= 0 selects the default (65536 events).
+func NewRecorder(autos []*automata.Automaton, perThreadCap int) *Recorder {
+	names := make([]string, len(autos))
+	for i, a := range autos {
+		names[i] = a.Name
+	}
+	return &Recorder{
+		names: names,
+		cap:   perThreadCap,
+		life:  newRing(perThreadCap),
+	}
+}
+
+// ThreadTap implements monitor.Tap.
+func (r *Recorder) ThreadTap(threadID int) monitor.ThreadTap {
+	s := &threadSink{rec: r, id: threadID, ring: newRing(r.cap)}
+	r.mu.Lock()
+	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
+	return s
+}
+
+// ProgramEvent implements monitor.ThreadTap. The event's slices are
+// borrowed from the caller, so they are copied here.
+func (s *threadSink) ProgramEvent(ev monitor.ProgramEvent) {
+	rec := Event{
+		Seq:    s.rec.seq.Add(1),
+		Thread: s.id,
+		Kind:   KindProgram,
+		Time:   ev.Time,
+		Prog:   ev.Kind,
+		Fn:     ev.Fn,
+		Field:  ev.Field,
+		Op:     ev.Op,
+		Auto:   ev.Auto,
+		Sym:    ev.Sym,
+		Slot:   ev.Slot,
+		Ret:    ev.Ret,
+		HasRet: ev.HasRet,
+	}
+	if len(ev.Vals) > 0 {
+		rec.Vals = append([]core.Value(nil), ev.Vals...)
+	}
+	if len(ev.InStack) > 0 {
+		rec.InStack = append([]int(nil), ev.InStack...)
+	}
+	s.mu.Lock()
+	s.ring.push(rec)
+	s.mu.Unlock()
+}
+
+// lifeEvent stamps and records one lifecycle event. It is called with the
+// store lock held (global context), so it must not call back into a store;
+// it only touches the recorder's own ring.
+func (r *Recorder) lifeEvent(ev Event) {
+	ev.Seq = r.seq.Add(1)
+	ev.Thread = -1
+	r.mu.Lock()
+	r.life.push(ev)
+	r.mu.Unlock()
+}
+
+// InstanceNew implements core.Handler.
+func (r *Recorder) InstanceNew(cls *core.Class, inst *core.Instance) {
+	r.lifeEvent(Event{Kind: KindInit, Class: cls.Name, Key: inst.Key, State: inst.State})
+}
+
+// InstanceClone implements core.Handler.
+func (r *Recorder) InstanceClone(cls *core.Class, parent, clone *core.Instance) {
+	r.lifeEvent(Event{Kind: KindClone, Class: cls.Name, Key: clone.Key, ParentKey: parent.Key, State: clone.State})
+}
+
+// Transition implements core.Handler.
+func (r *Recorder) Transition(cls *core.Class, inst *core.Instance, from, to uint32, symbol string) {
+	r.lifeEvent(Event{Kind: KindTransition, Class: cls.Name, Key: inst.Key, From: from, To: to, Symbol: symbol})
+}
+
+// Accept implements core.Handler.
+func (r *Recorder) Accept(cls *core.Class, inst *core.Instance) {
+	r.lifeEvent(Event{Kind: KindAccept, Class: cls.Name, Key: inst.Key, State: inst.State})
+}
+
+// Fail implements core.Handler.
+func (r *Recorder) Fail(v *core.Violation) {
+	r.lifeEvent(Event{Kind: KindFail, Class: v.Class.Name, Key: v.Key, State: v.State, Symbol: v.Symbol, Verdict: v.Kind})
+}
+
+// Overflow implements core.Handler.
+func (r *Recorder) Overflow(cls *core.Class, key core.Key) {
+	r.lifeEvent(Event{Kind: KindOverflow, Class: cls.Name, Key: key})
+}
+
+// EventCount returns how many events have been recorded so far, including
+// any that ring overflow has since discarded.
+func (r *Recorder) EventCount() uint64 { return r.seq.Load() }
+
+// Snapshot merges all rings into one Seq-ordered trace. It may be called
+// while threads are still recording; it sees a consistent prefix of each
+// ring at the moment it is locked.
+func (r *Recorder) Snapshot() *Trace {
+	r.mu.Lock()
+	sinks := append([]*threadSink(nil), r.sinks...)
+	events := r.life.snapshot(nil)
+	dropped := r.life.dropped
+	r.mu.Unlock()
+
+	for _, s := range sinks {
+		s.mu.Lock()
+		events = s.ring.snapshot(events)
+		dropped += s.ring.dropped
+		s.mu.Unlock()
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return &Trace{
+		FormatVersion: Version,
+		Automata:      append([]string(nil), r.names...),
+		Dropped:       dropped,
+		Events:        events,
+	}
+}

@@ -1,0 +1,141 @@
+package trace_test
+
+import (
+	"sync"
+	"testing"
+
+	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/spec"
+	"tesla/internal/trace"
+)
+
+func mustAuto(t *testing.T, name, src string) *automata.Automaton {
+	t.Helper()
+	a, err := spec.Parse(name, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := automata.Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auto
+}
+
+// TestRecorderConcurrentThreads drives a global-context automaton from many
+// goroutines with the recorder attached at both layers (tap + handler),
+// snapshotting concurrently — the race-detector probe for the whole event
+// path. The merged trace must be Seq-ordered with no duplicates, and every
+// program event must be attributed to a real thread.
+func TestRecorderConcurrentThreads(t *testing.T) {
+	auto := mustAuto(t, "glob",
+		`TESLA_GLOBAL(call(start_op), returnfrom(end_op), previously(prepare(x) == 0))`)
+	rec := trace.NewRecorder([]*automata.Automaton{auto}, 0)
+	m := monitor.MustNew(monitor.Options{Handler: rec, Tap: rec}, auto)
+
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rec.Snapshot() // must be safe mid-recording
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := m.NewThread()
+			for r := 0; r < rounds; r++ {
+				x := core.Value(g*rounds + r)
+				th.Call("start_op")
+				th.Call("prepare", x)
+				th.Return("prepare", 0, x)
+				th.Site("glob", x)
+				th.Return("end_op", 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	tr := rec.Snapshot()
+	if tr.Dropped != 0 {
+		t.Fatalf("%d events dropped with default ring capacity", tr.Dropped)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	seen := map[uint64]bool{}
+	var prev uint64
+	threads := map[int]bool{}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Seq <= prev && i > 0 {
+			t.Fatalf("event %d out of order: seq %d after %d", i, ev.Seq, prev)
+		}
+		prev = ev.Seq
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Kind == trace.KindProgram {
+			if ev.Thread < 0 || ev.Thread >= goroutines {
+				t.Fatalf("program event on impossible thread %d", ev.Thread)
+			}
+			threads[ev.Thread] = true
+		} else if ev.Thread != -1 {
+			t.Fatalf("lifecycle event with thread %d", ev.Thread)
+		}
+	}
+	if len(threads) != goroutines {
+		t.Fatalf("events from %d threads, want %d", len(threads), goroutines)
+	}
+
+	// The merged trace replays: the Seq order is a plausible linearisation,
+	// so replay must complete and produce only verdicts the live run could
+	// have produced (structural sanity, not exact equality, under races).
+	if _, err := trace.Replay(tr, []*automata.Automaton{auto}); err != nil {
+		t.Fatalf("concurrent trace does not replay: %v", err)
+	}
+}
+
+// TestRecorderBoundedMemory overflows a tiny ring and checks the contract:
+// newest events win, drops are counted, Snapshot stays Seq-sorted.
+func TestRecorderBoundedMemory(t *testing.T) {
+	auto := mustAuto(t, "syscall", `TESLA_SYSCALL_PREVIOUSLY(chk(x) == 0)`)
+	rec := trace.NewRecorder([]*automata.Automaton{auto}, 8)
+	m := monitor.MustNew(monitor.Options{Handler: rec, Tap: rec}, auto)
+	th := m.NewThread()
+	for i := 0; i < 100; i++ {
+		th.Call("amd64_syscall")
+		th.Return("amd64_syscall", 0)
+	}
+	tr := rec.Snapshot()
+	if tr.Dropped == 0 {
+		t.Fatal("expected drops from a capacity-8 ring")
+	}
+	var prev uint64
+	for i := range tr.Events {
+		if tr.Events[i].Seq <= prev {
+			t.Fatalf("snapshot not sorted at %d", i)
+		}
+		prev = tr.Events[i].Seq
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if last.Seq != rec.EventCount() {
+		t.Fatalf("newest event seq %d, recorder count %d", last.Seq, rec.EventCount())
+	}
+}

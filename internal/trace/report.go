@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"tesla/internal/automata"
+	"tesla/internal/core"
+)
+
+// The reporter renders a (typically shrunk) violating trace as a
+// counterexample: the violation itself, the event timeline that produced
+// it, and the path the automaton took — the per-edge weighted graph of
+// figure 9, restricted to one run.
+
+// Report writes a human-readable counterexample for the trace's first
+// recorded violation. The trace must contain lifecycle events (a recorded
+// or re-recorded trace, not a bare program-event subset).
+func Report(w io.Writer, t *Trace, autos []*automata.Automaton) error {
+	if err := Check(t, autos); err != nil {
+		return err
+	}
+	fails := t.Violations()
+	if len(fails) == 0 {
+		return fmt.Errorf("trace: no violation recorded in trace")
+	}
+	fail := fails[0]
+	fmt.Fprintf(w, "violation: %s: %s (key %s, state %d, symbol %q)\n",
+		fail.Class, fail.Verdict, fail.Key, fail.State, fail.Symbol)
+	if t.Dropped > 0 {
+		fmt.Fprintf(w, "warning: %d event(s) dropped to ring overflow; timeline is incomplete\n", t.Dropped)
+	}
+
+	fmt.Fprintf(w, "\ntimeline (%d events):\n", len(t.Events))
+	for i := range t.Events {
+		ev := &t.Events[i]
+		marker := "  "
+		if ev.Kind == KindFail {
+			marker = "✗ "
+		}
+		fmt.Fprintf(w, "%s%s\n", marker, ev)
+	}
+
+	fmt.Fprintf(w, "\npath of %s:\n", fail.Class)
+	steps := 0
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind == KindTransition && ev.Class == fail.Class {
+			fmt.Fprintf(w, "  %d -> %d on %q (%s)\n", ev.From, ev.To, ev.Symbol, ev.Key)
+			steps++
+		}
+	}
+	if steps == 0 {
+		fmt.Fprintf(w, "  (no transitions: the automaton never left its initial state)\n")
+	}
+	return nil
+}
+
+// Dot renders the violating automaton with the trace's transition counts
+// as edge weights: edges the counterexample took are emphasised, untaken
+// edges render dimmed, so the path to the failure is visible at a glance.
+// class selects the automaton; empty means the first violation's class.
+func Dot(t *Trace, autos []*automata.Automaton, class string) (string, error) {
+	if err := Check(t, autos); err != nil {
+		return "", err
+	}
+	if class == "" {
+		fails := t.Violations()
+		if len(fails) == 0 {
+			return "", fmt.Errorf("trace: no violation recorded and no class named")
+		}
+		class = fails[0].Class
+	}
+	var auto *automata.Automaton
+	for _, a := range autos {
+		if a.Name == class {
+			auto = a
+			break
+		}
+	}
+	if auto == nil {
+		return "", fmt.Errorf("trace: unknown automaton %q", class)
+	}
+	weights := map[core.TransitionEdge]uint64{}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind == KindTransition && ev.Class == class {
+			weights[core.TransitionEdge{Class: class, From: ev.From, To: ev.To, Symbol: ev.Symbol}]++
+		}
+	}
+	return auto.Dot(weights), nil
+}

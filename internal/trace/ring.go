@@ -1,0 +1,42 @@
+package trace
+
+// ring is a bounded append-only event buffer that overwrites its oldest
+// entries when full, counting what it loses. Bounding memory per thread is
+// what makes always-on tracing viable in the kernel configurations the
+// paper targets: a hot thread can emit millions of events, but debugging a
+// violation only ever needs the recent window that led to it.
+type ring struct {
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events
+	dropped uint64
+}
+
+// defaultRingCap bounds each ring when the caller does not choose a size.
+const defaultRingCap = 1 << 16
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 {
+		capacity = defaultRingCap
+	}
+	return &ring{buf: make([]Event, capacity)}
+}
+
+func (r *ring) push(ev Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// snapshot appends the ring's events, oldest first, to dst.
+func (r *ring) snapshot(dst []Event) []Event {
+	for i := 0; i < r.n; i++ {
+		dst = append(dst, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return dst
+}

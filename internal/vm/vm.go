@@ -89,6 +89,7 @@ func New(mod *ir.Module) *VM {
 func (vm *VM) AttachThread(th *monitor.Thread) {
 	vm.Thread = th
 	th.StackQuery = vm.InStack
+	th.SetClock(vm.Steps)
 }
 
 // Load implements monitor.Memory over the VM heap.
