@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race check bench
+# Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
+FUZZTIME ?= 30s
 
-ci: fmt vet build test race check
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare
+
+ci: fmt vet build test race check fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -34,3 +37,21 @@ check: build
 
 bench:
 	$(GO) run ./cmd/tesla-bench -fig elision -files 8
+
+# Short fuzz pass over the binary/JSON trace codec and the csub front end
+# ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail
+# `make test` from then on.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/csub -run '^$$' -fuzz '^FuzzCsubParse$$' -fuzztime $(FUZZTIME)
+
+# Store benchmarks, single-mutex reference vs sharded, diffed with benchstat
+# when it is installed (the benchmark names match across runs by design).
+bench-compare:
+	@TESLA_STORE_SHARDS=1 $(GO) test ./internal/core -run '^$$' -bench 'StoreOLTP' -benchtime 0.5s -count 5 | tee /tmp/tesla-store-old.txt
+	@$(GO) test ./internal/core -run '^$$' -bench 'StoreOLTP' -benchtime 0.5s -count 5 | tee /tmp/tesla-store-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat /tmp/tesla-store-old.txt /tmp/tesla-store-new.txt; \
+	else \
+		echo "benchstat not installed; raw results above (old = mutex, new = sharded)"; \
+	fi

@@ -29,6 +29,7 @@ func main() {
 	tracePath := flag.String("trace", "", "record an event trace to this file (.json for JSON, else binary)")
 	traceCap := flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
 	entry := flag.String("entry", "main", "entry function")
+	shards := flag.Int("shards", 0, "global-store lock stripes (0 = GOMAXPROCS, 1 = single-mutex reference store)")
 	var args intList
 	flag.Var(&args, "arg", "integer argument to the entry function (repeatable)")
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 	if *debug {
 		handler = append(handler, &core.PrintHandler{W: os.Stderr})
 	}
-	opts := monitor.Options{FailFast: *failstop}
+	opts := monitor.Options{FailFast: *failstop, GlobalShards: *shards}
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		rec = trace.NewRecorder(build.Autos, *traceCap)

@@ -92,9 +92,9 @@ func CompileFile(f *csub.File, ctx *Context) (*Unit, error) {
 		u.Module.Structs = append(u.Module.Structs, ctx.structs[s.Name])
 	}
 	for _, g := range f.Globals {
-		init := int64(0)
-		if g.Init != nil {
-			init = g.Init.(*csub.IntLit).V
+		init, err := globalInit(f, g, ctx)
+		if err != nil {
+			return nil, err
 		}
 		u.Module.Globals = append(u.Module.Globals, &ir.Global{Name: g.Name, Init: init})
 	}
@@ -107,6 +107,46 @@ func CompileFile(f *csub.File, ctx *Context) (*Unit, error) {
 		u.Module.Funcs = append(u.Module.Funcs, irf)
 	}
 	return u, nil
+}
+
+// globalInit evaluates a global initialiser: C static initialisers must be
+// constant expressions, so only literals, #define constants and constant
+// negation are accepted.
+func globalInit(f *csub.File, g *csub.VarDecl, ctx *Context) (int64, error) {
+	if g.Init == nil {
+		return 0, nil
+	}
+	v, ok := constExpr(g.Init, ctx)
+	if !ok {
+		return 0, fmt.Errorf("%s:%d: global %s: initialiser is not a constant expression", f.Name, g.Line, g.Name)
+	}
+	return v, nil
+}
+
+// constExpr evaluates the constant subset of csub expressions.
+func constExpr(e csub.Expr, ctx *Context) (int64, bool) {
+	switch x := e.(type) {
+	case *csub.IntLit:
+		return x.V, true
+	case *csub.Ident:
+		v, ok := ctx.defines[x.Name]
+		return v, ok
+	case *csub.UnaryExpr:
+		v, ok := constExpr(x.X, ctx)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "-":
+			return -v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
 }
 
 // Compile parses and compiles several sources as one program, returning the

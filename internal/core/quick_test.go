@@ -31,11 +31,17 @@ func randomSets(r *rand.Rand) (enter, mid, site, exit TransitionSet) {
 //  2. live count never exceeds the preallocation limit;
 //  3. after a cleanup event the class is empty;
 //  4. LiveCount agrees with Instances.
+//
+// The property runs against both store implementations.
 func TestQuickStoreInvariants(t *testing.T) {
+	storeVariants(t, func(t *testing.T, shards int) { quickStoreInvariants(t, shards) })
+}
+
+func quickStoreInvariants(t *testing.T, shards int) {
 	rng := rand.New(rand.NewSource(7))
 	f := func() bool {
 		cls := &Class{Name: "q", States: 16, Limit: 4 + rng.Intn(8)}
-		s := NewStore(PerThread, nil)
+		s := NewStoreOpts(StoreOpts{Context: PerThread, Shards: shards})
 		s.Register(cls)
 		enter, mid, site, exit := randomSets(rng)
 

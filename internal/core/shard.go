@@ -1,0 +1,550 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The sharded store partitions each class's preallocated instance block into
+// lock stripes selected by Key hash, so that global-context events for
+// unrelated keys proceed in parallel instead of serialising on one mutex
+// (§3.2's explicit lock, whose cost figure 12 measures). Three structures
+// replace the reference store's linear scans:
+//
+//   - a per-shard open-addressed hash index mapping an instance key to its
+//     slot in the block (linear probing, backward-shift deletion). Tables
+//     are sized to twice the class limit so the load factor never exceeds
+//     one half even if every instance hashes to one shard;
+//   - a class-wide free-slot bitmap allocated lowest-slot-first, replacing
+//     the O(n) alloc scan with an O(n/64) word scan. First-fit is load-
+//     bearing, not an aesthetic choice: candidate instances are processed
+//     in slot order, so under overflow the slot each instance occupies
+//     decides which clone attempts get the last free slots — a LIFO free
+//     list diverges from the reference store there (the differential
+//     harness catches it). Capacity semantics are unchanged: overflow
+//     happens exactly when the class's whole block is live;
+//   - atomics for the per-class live count and a census of live instances
+//     per key mask, which drives lock planning below.
+//
+// Lock planning: an event with key E must reach every live instance whose
+// key is compatible with E. A compatible instance whose mask is a subset of
+// E's mask is *exactly* E projected onto that mask, so it is found with one
+// hash lookup in one computable shard. The mask census says which masks are
+// live: if all of them are subsets of E's mask, the event locks only the
+// shards of those projections (plus clone/init targets, which are
+// projections too); if any live instance binds a slot E does not, its shard
+// cannot be computed and the event falls back to locking every stripe and
+// scanning. Cross-shard operations — clone-from-ANY fallbacks, «cleanup»,
+// Reset, Instances — take shard locks in ascending stripe order, so they
+// cannot deadlock against each other or against single-shard events.
+//
+// The preallocation discipline of §4.4.1 is preserved: block, index tables
+// and free-list links are all allocated at registration time; monitored
+// paths allocate nothing.
+
+// maxStoreShards bounds the stripe count so a lock set fits one uint64.
+const maxStoreShards = 64
+
+// keyMaskAll covers every representable key mask.
+const keyMaskAll = 1<<KeySize - 1
+
+// shardedClass is one class's state in a sharded store.
+type shardedClass struct {
+	cls   *Class
+	limit int
+	// insts is the class-wide preallocated block; shards own disjoint
+	// subsets of its slots, tracked by their hash indexes.
+	insts []Instance
+	// free is the free-slot bitmap (bit set ⇒ slot free); allocSlot scans
+	// it from word zero so slots are claimed lowest-first, matching the
+	// reference allocator's first-fit scan.
+	free []atomic.Uint64
+	// live is the class-wide active-instance count.
+	live atomic.Int32
+	// masks counts live instances per key mask, for lock planning.
+	masks [1 << KeySize]atomic.Int32
+
+	shards []storeShard
+}
+
+// storeShard is one lock stripe: a mutex and the hash index of the instances
+// whose keys hash to this stripe.
+type storeShard struct {
+	mu sync.Mutex
+	// table maps probe positions to slot+1; 0 is empty. Deletion
+	// backward-shifts, so a probe may stop at the first empty entry.
+	table []uint32
+	_     [40]byte // keep neighbouring stripes off one cache line
+}
+
+func newShardedClass(cls *Class, storage []Instance, nshards int) *shardedClass {
+	if storage == nil {
+		storage = make([]Instance, cls.limit())
+	}
+	sc := &shardedClass{
+		cls:    cls,
+		limit:  len(storage),
+		insts:  storage,
+		free:   make([]atomic.Uint64, (len(storage)+63)/64),
+		shards: make([]storeShard, nshards),
+	}
+	tsize := 8
+	for tsize < 2*sc.limit {
+		tsize <<= 1
+	}
+	for i := range sc.shards {
+		sc.shards[i].table = make([]uint32, tsize)
+	}
+	sc.resetFreeList()
+	return sc
+}
+
+// resetFreeList marks every slot free. Callers must hold every shard lock
+// (or own the class exclusively, as at registration).
+func (sc *shardedClass) resetFreeList() {
+	for w := range sc.free {
+		n := sc.limit - w*64
+		if n >= 64 {
+			sc.free[w].Store(^uint64(0))
+		} else {
+			sc.free[w].Store(1<<uint(n) - 1)
+		}
+	}
+}
+
+// hashKey mixes a key's mask and bound values; unbound slots are always zero
+// by construction, so equal keys hash equally.
+func hashKey(k Key) uint64 {
+	h := uint64(k.Mask)*0x9E3779B97F4A7C15 + 0x85EBCA77C2B2AE63
+	for i := 0; i < KeySize; i++ {
+		if k.Mask&(1<<uint(i)) != 0 {
+			h ^= uint64(k.Data[i]) + 0x9E3779B97F4A7C15 + h<<6 + h>>2
+			h *= 0xC2B2AE3D27D4EB4F
+		}
+	}
+	h ^= h >> 29
+	return h
+}
+
+// shardOf picks the stripe for a key from the hash's high bits; probe
+// positions use the low bits, so stripe and probe stay decorrelated.
+func (sc *shardedClass) shardOf(k Key) int {
+	return int(hashKey(k)>>48) & (len(sc.shards) - 1)
+}
+
+// allMask is the lock set covering every stripe.
+func (sc *shardedClass) allMask() uint64 {
+	return 1<<uint(len(sc.shards)) - 1
+}
+
+// lockShards acquires the stripes in set in ascending index order — the
+// fixed lock order every cross-shard operation follows. Per-thread stores
+// skip locking entirely, like the reference store.
+func (s *Store) lockShards(sc *shardedClass, set uint64) {
+	if s.context != Global {
+		return
+	}
+	for i := range sc.shards {
+		if set&(1<<uint(i)) != 0 {
+			sc.shards[i].mu.Lock()
+		}
+	}
+}
+
+func (s *Store) unlockShards(sc *shardedClass, set uint64) {
+	if s.context != Global {
+		return
+	}
+	for i := range sc.shards {
+		if set&(1<<uint(i)) != 0 {
+			sc.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// allocSlot claims the lowest free slot, or returns -1 on overflow.
+// Lock-free: events holding different stripe locks allocate concurrently,
+// and sequentially the slot chosen is exactly the reference allocator's.
+func (sc *shardedClass) allocSlot() int32 {
+	for w := range sc.free {
+		v := sc.free[w].Load()
+		for v != 0 {
+			b := uint(bits.TrailingZeros64(v))
+			if sc.free[w].CompareAndSwap(v, v&^(1<<b)) {
+				return int32(w*64) + int32(b)
+			}
+			v = sc.free[w].Load()
+		}
+	}
+	return -1
+}
+
+// freeSlot returns a slot to the bitmap.
+func (sc *shardedClass) freeSlot(slot int32) {
+	w, bit := slot/64, uint64(1)<<uint(slot%64)
+	for {
+		v := sc.free[w].Load()
+		if sc.free[w].CompareAndSwap(v, v|bit) {
+			return
+		}
+	}
+}
+
+// findIn looks up the slot holding exactly key k in one stripe's index, or
+// -1. The stripe lock must be held.
+func (sc *shardedClass) findIn(sh *storeShard, k Key) int32 {
+	mask := uint64(len(sh.table) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		e := sh.table[i]
+		if e == 0 {
+			return -1
+		}
+		if slot := int32(e - 1); sc.insts[slot].Key == k {
+			return slot
+		}
+	}
+}
+
+// insertIn adds slot under its key to one stripe's index. The stripe lock
+// must be held. The table never fills: its size is twice the class limit.
+func (sc *shardedClass) insertIn(sh *storeShard, slot int32) {
+	mask := uint64(len(sh.table) - 1)
+	i := hashKey(sc.insts[slot].Key) & mask
+	for sh.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	sh.table[i] = uint32(slot) + 1
+}
+
+// removeIn deletes slot from one stripe's index with backward-shift
+// deletion, so probes need no tombstones. The stripe lock must be held.
+func (sc *shardedClass) removeIn(sh *storeShard, slot int32) {
+	mask := uint64(len(sh.table) - 1)
+	i := hashKey(sc.insts[slot].Key) & mask
+	for {
+		e := sh.table[i]
+		if e == 0 {
+			return // not present; nothing to shift
+		}
+		if int32(e-1) == slot {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	sh.table[i] = 0
+	for j := (i + 1) & mask; ; j = (j + 1) & mask {
+		e := sh.table[j]
+		if e == 0 {
+			return
+		}
+		home := hashKey(sc.insts[e-1].Key) & mask
+		// The entry at j can fill the hole at i iff its home position
+		// lies cyclically at or before i.
+		if (j-home)&mask >= (j-i)&mask {
+			sh.table[i] = e
+			sh.table[j] = 0
+			i = j
+		}
+	}
+}
+
+// activate claims slot for a new instance and indexes it. The key's stripe
+// lock must be held.
+func (sc *shardedClass) activate(slot int32, state uint32, k Key) *Instance {
+	inst := &sc.insts[slot]
+	*inst = Instance{State: state, Key: k, Active: true}
+	sc.insertIn(&sc.shards[sc.shardOf(k)], slot)
+	sc.masks[k.Mask&keyMaskAll].Add(1)
+	sc.live.Add(1)
+	return inst
+}
+
+// deactivate unindexes slot and returns it to the free list. The key's
+// stripe lock must be held.
+func (sc *shardedClass) deactivate(slot int32) {
+	inst := &sc.insts[slot]
+	sc.removeIn(&sc.shards[sc.shardOf(inst.Key)], slot)
+	sc.masks[inst.Key.Mask&keyMaskAll].Add(-1)
+	sc.live.Add(-1)
+	inst.Active = false
+	sc.freeSlot(slot)
+}
+
+// expungeLocked clears every instance, index and counter and rebuilds the
+// free list. Every shard lock must be held.
+func (sc *shardedClass) expungeLocked() {
+	for i := range sc.shards {
+		t := sc.shards[i].table
+		for j := range t {
+			t[j] = 0
+		}
+	}
+	for i := range sc.insts {
+		sc.insts[i].Active = false
+	}
+	for m := range sc.masks {
+		sc.masks[m].Store(0)
+	}
+	sc.live.Store(0)
+	sc.resetFreeList()
+}
+
+// plan computes the lock set an event with this key and transition set
+// needs: the shard of every live-mask projection of the key, the shard of
+// the key itself (clone target) and of the «init» key. scan reports that
+// some live instance binds a slot outside the event's mask, forcing the
+// all-stripes fallback.
+func (sc *shardedClass) plan(key Key, ts TransitionSet) (set uint64, scan bool) {
+	set = 1 << uint(sc.shardOf(key))
+	if init := initTransition(ts); init != nil {
+		set |= 1 << uint(sc.shardOf(key.project(init.KeyMask)))
+	}
+	for m := uint32(0); m <= keyMaskAll; m++ {
+		if sc.masks[m].Load() == 0 {
+			continue
+		}
+		if m&^key.Mask != 0 {
+			return sc.allMask(), true
+		}
+		set |= 1 << uint(sc.shardOf(key.project(m)))
+	}
+	return set, false
+}
+
+// registerSharded adds or replaces a class in the sharded store. storage is
+// nil to preallocate internally (Register) or the caller's block
+// (RegisterWithStorage, which replaces and expunges on re-registration).
+func (s *Store) registerSharded(cls *Class, storage []Instance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.stab.Load()
+	if _, ok := old.m[cls]; ok && storage == nil {
+		return
+	}
+	nt := &shardTable{m: make(map[*Class]*shardedClass, len(old.m)+1)}
+	for c, sc := range old.m {
+		nt.m[c] = sc
+	}
+	sc := newShardedClass(cls, storage, s.nshards)
+	replaced := false
+	for _, prev := range old.order {
+		if prev.cls == cls {
+			nt.order = append(nt.order, sc)
+			replaced = true
+		} else {
+			nt.order = append(nt.order, prev)
+		}
+	}
+	if !replaced {
+		nt.order = append(nt.order, sc)
+	}
+	nt.m[cls] = sc
+	s.stab.Store(nt)
+}
+
+// shardedClassOf resolves a class against the current registration snapshot.
+func (s *Store) shardedClassOf(cls *Class) *shardedClass {
+	return s.stab.Load().m[cls]
+}
+
+// instancesSharded snapshots the live instances of cls in slot order.
+func (s *Store) instancesSharded(cls *Class) []Instance {
+	sc := s.shardedClassOf(cls)
+	if sc == nil {
+		return nil
+	}
+	s.lockShards(sc, sc.allMask())
+	defer s.unlockShards(sc, sc.allMask())
+	var out []Instance
+	for i := range sc.insts {
+		if sc.insts[i].Active {
+			inst := sc.insts[i] // copy, not alias: the slot is reused
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// updateSharded is UpdateState over the lock-striped store. It reproduces
+// the reference implementation's lifecycle exactly (init, clone, update,
+// error, cleanup — §4.4.1); only the locking and lookup machinery differ.
+func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags, key Key, ts TransitionSet) error {
+	h := s.Handler()
+	cleanup := ts.HasCleanup()
+
+	// Acquire the planned lock set, then re-plan under the locks: another
+	// thread may have activated an instance whose mask widens the set
+	// between planning and locking. The loop escalates to all stripes
+	// after one miss, so it terminates.
+	set, scan := sc.plan(key, ts)
+	if cleanup {
+		// Cleanup expunges the whole class; take everything up front.
+		set = sc.allMask()
+	}
+	for tries := 0; ; tries++ {
+		s.lockShards(sc, set)
+		need, nscan := sc.plan(key, ts)
+		if need&^set == 0 {
+			scan = nscan
+			break
+		}
+		s.unlockShards(sc, set)
+		if tries >= 1 {
+			set = sc.allMask()
+		} else {
+			set |= need
+		}
+	}
+	defer s.unlockShards(sc, set)
+
+	var firstErr error
+	fail := func(v *Violation) {
+		h.Fail(v)
+		if firstErr == nil {
+			firstErr = v
+		}
+	}
+
+	// Collect the instances live before this event (so clones made below
+	// are not driven by the same event), compatible with its key. With no
+	// out-of-mask masks live, every compatible instance is a projection
+	// of the key: a handful of O(1) index lookups replaces the reference
+	// store's scan over the whole block.
+	var candBuf [DefaultInstanceLimit]int32
+	cand := candBuf[:0]
+	if scan {
+		for si := range sc.shards {
+			for _, e := range sc.shards[si].table {
+				if e == 0 {
+					continue
+				}
+				if slot := int32(e - 1); sc.insts[slot].Key.Compatible(key) {
+					cand = append(cand, slot)
+				}
+			}
+		}
+	} else {
+		for m := uint32(0); m <= keyMaskAll; m++ {
+			if m&^key.Mask != 0 || sc.masks[m].Load() == 0 {
+				continue
+			}
+			k := key.project(m)
+			if slot := sc.findIn(&sc.shards[sc.shardOf(k)], k); slot >= 0 {
+				cand = append(cand, slot)
+			}
+		}
+	}
+	// Process in slot order, matching the reference store's iteration.
+	// Insertion sort: candidate lists are short (≤ one per live mask off
+	// the scan path) and sort.Slice would allocate on the monitored path.
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+			cand[j], cand[j-1] = cand[j-1], cand[j]
+		}
+	}
+
+	matched := false
+	for _, slot := range cand {
+		inst := &sc.insts[slot]
+
+		var tr *Transition
+		for j := range ts {
+			if ts[j].From == inst.State {
+				tr = &ts[j]
+				break
+			}
+		}
+
+		if tr == nil {
+			switch {
+			case cleanup:
+				// The bound is ending but this instance is stuck
+				// in a non-accepting state: an `eventually`
+				// obligation was never satisfied.
+				fail(&Violation{Class: sc.cls, Kind: VerdictIncomplete, Key: inst.Key, State: inst.State, Symbol: symbol})
+			case flags&SymStrict != 0:
+				fail(&Violation{Class: sc.cls, Kind: VerdictBadTransition, Key: inst.Key, State: inst.State, Symbol: symbol})
+				sc.deactivate(slot)
+			}
+			continue
+		}
+
+		if inst.Key.Specializes(key) {
+			// The event binds variables this instance has not seen:
+			// clone a more specific instance and leave the parent.
+			// For in-plan parents the union is the event key itself,
+			// whose stripe is locked; scan-mode parents run under
+			// every stripe lock.
+			newKey := inst.Key.Union(key)
+			if sc.findIn(&sc.shards[sc.shardOf(newKey)], newKey) >= 0 {
+				matched = true
+				continue
+			}
+			nslot := sc.allocSlot()
+			if nslot < 0 {
+				h.Overflow(sc.cls, newKey)
+				if s.FailFast && firstErr == nil {
+					firstErr = ErrOverflow
+				}
+				continue
+			}
+			clone := sc.activate(nslot, tr.To, newKey)
+			h.InstanceClone(sc.cls, inst, clone)
+			h.Transition(sc.cls, clone, tr.From, tr.To, symbol)
+			matched = true
+			if tr.Cleanup() {
+				h.Accept(sc.cls, clone)
+			}
+			continue
+		}
+
+		from := inst.State
+		inst.State = tr.To
+		h.Transition(sc.cls, inst, from, tr.To, symbol)
+		matched = true
+		if tr.Cleanup() {
+			h.Accept(sc.cls, inst)
+		}
+	}
+
+	if !matched {
+		if init := initTransition(ts); init != nil {
+			initKey := key.project(init.KeyMask)
+			if sc.findIn(&sc.shards[sc.shardOf(initKey)], initKey) < 0 {
+				slot := sc.allocSlot()
+				if slot < 0 {
+					h.Overflow(sc.cls, initKey)
+					if s.FailFast && firstErr == nil {
+						firstErr = ErrOverflow
+					}
+				} else {
+					inst := sc.activate(slot, init.To, initKey)
+					h.InstanceNew(sc.cls, inst)
+					h.Transition(sc.cls, inst, init.From, init.To, symbol)
+					matched = true
+					if init.Cleanup() {
+						h.Accept(sc.cls, inst)
+					}
+				}
+			}
+		} else if flags&SymRequired != 0 && sc.live.Load() > 0 {
+			// Execution reached the assertion site with bindings for
+			// which no instance exists (fig. 9 “Error”); with no live
+			// instances the event arrived outside the bound and is
+			// ignored, as in the reference store.
+			fail(&Violation{Class: sc.cls, Kind: VerdictNoInstance, Key: key, Symbol: symbol})
+		}
+	}
+
+	if cleanup {
+		// A cleanup transition resets the class: all instances are
+		// expunged and events are ignored until the next «init».
+		sc.expungeLocked()
+	}
+
+	if s.FailFast {
+		return firstErr
+	}
+	return nil
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Context selects where automata state lives (§3.2). In the thread-local
@@ -29,7 +31,9 @@ func (c Context) String() string {
 	}
 }
 
-// classState holds a class's preallocated instance block within one store.
+// classState holds a class's preallocated instance block within one store
+// (the unsharded reference implementation; see shard.go for the lock-striped
+// one).
 type classState struct {
 	cls *Class
 	// insts is allocated once, at class registration, so that instance
@@ -40,49 +44,127 @@ type classState struct {
 	live  int
 }
 
+// StoreOpts configures a Store beyond what NewStore exposes.
+type StoreOpts struct {
+	// Context selects per-thread or global state (§3.2).
+	Context Context
+	// Handler receives lifecycle notifications; nil discards them.
+	Handler Handler
+	// Shards selects the instance-store implementation. 0 (auto) uses the
+	// sharded lock-striped store sized to GOMAXPROCS for the Global
+	// context and the unsharded reference store for PerThread. 1 is the
+	// escape hatch: the seed single-mutex store with linear scans, which
+	// also serves as the reference model for the differential test
+	// harness. Values ≥ 2 select the sharded store with that many
+	// stripes, rounded up to a power of two and capped at 64.
+	Shards int
+}
+
 // Store manages automata instances for one context. The zero value is not
-// usable; construct with NewStore.
+// usable; construct with NewStore or NewStoreOpts.
 type Store struct {
 	mu      sync.Mutex
 	context Context
-	handler Handler
+	hv      atomic.Pointer[handlerCell]
 
+	// nshards == 0 selects the unsharded reference implementation below;
+	// otherwise state lives in the sharded table (shard.go).
+	nshards int
 	classes map[*Class]*classState
 	// order preserves registration order for deterministic iteration.
 	order []*classState
+	stab  atomic.Pointer[shardTable]
 
 	// FailFast makes UpdateState return the first violation as an error
 	// (fail-stop is TESLA's default, but it is configurable at run time).
+	// Set it before the store is shared between threads.
 	FailFast bool
 }
 
+// handlerCell boxes the handler so it can be swapped atomically: the sharded
+// store reads it outside any store-wide lock.
+type handlerCell struct{ h Handler }
+
+// shardTable is the registration snapshot of a sharded store, replaced
+// copy-on-write under Store.mu so the event hot path can read it lock-free.
+type shardTable struct {
+	m     map[*Class]*shardedClass
+	order []*shardedClass
+}
+
 // NewStore creates a store for the given context. handler may be nil, in
-// which case notifications are discarded.
+// which case notifications are discarded. The Global context defaults to the
+// sharded lock-striped implementation; use NewStoreOpts with Shards: 1 for
+// the single-mutex reference store.
 func NewStore(ctx Context, handler Handler) *Store {
-	if handler == nil {
-		handler = NopHandler{}
+	return NewStoreOpts(StoreOpts{Context: ctx, Handler: handler})
+}
+
+// NewStoreOpts creates a store from explicit options.
+func NewStoreOpts(o StoreOpts) *Store {
+	if o.Handler == nil {
+		o.Handler = NopHandler{}
 	}
-	return &Store{
-		context: ctx,
-		handler: handler,
-		classes: make(map[*Class]*classState),
+	s := &Store{context: o.Context}
+	s.hv.Store(&handlerCell{h: o.Handler})
+	switch {
+	case o.Shards == 1:
+		// The seed single-mutex store.
+	case o.Shards == 0 && o.Context != Global:
+		// Per-thread stores see no concurrency; the reference store's
+		// simplicity wins by default.
+	default:
+		n := o.Shards
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.nshards = shardCount(n)
+		s.stab.Store(&shardTable{})
+		return s
 	}
+	s.classes = make(map[*Class]*classState)
+	return s
+}
+
+// shardCount clamps and rounds a shard request to a power of two.
+func shardCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxStoreShards {
+		n = maxStoreShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Context returns the store's context.
 func (s *Store) Context() Context { return s.context }
 
+// Shards returns the number of lock stripes: 1 for the unsharded reference
+// implementation.
+func (s *Store) Shards() int {
+	if s.nshards == 0 {
+		return 1
+	}
+	return s.nshards
+}
+
+// Sharded reports whether the store uses the lock-striped implementation.
+func (s *Store) Sharded() bool { return s.nshards > 0 }
+
 // Handler returns the store's notification handler.
-func (s *Store) Handler() Handler { return s.handler }
+func (s *Store) Handler() Handler { return s.hv.Load().h }
 
 // SetHandler replaces the notification handler.
 func (s *Store) SetHandler(h Handler) {
 	if h == nil {
 		h = NopHandler{}
 	}
-	s.lock()
-	s.handler = h
-	s.unlock()
+	s.hv.Store(&handlerCell{h: h})
 }
 
 func (s *Store) lock() {
@@ -100,6 +182,10 @@ func (s *Store) unlock() {
 // Register adds a class to the store, preallocating its instance block.
 // Registering the same class twice is a no-op.
 func (s *Store) Register(cls *Class) {
+	if s.nshards > 0 {
+		s.registerSharded(cls, nil)
+		return
+	}
 	s.lock()
 	defer s.unlock()
 	if _, ok := s.classes[cls]; ok {
@@ -129,6 +215,10 @@ func (s *Store) RegisterWithStorage(cls *Class, storage []Instance) {
 	for i := range storage {
 		storage[i] = Instance{}
 	}
+	if s.nshards > 0 {
+		s.registerSharded(cls, storage)
+		return
+	}
 	s.lock()
 	defer s.unlock()
 	if cs, ok := s.classes[cls]; ok {
@@ -143,6 +233,9 @@ func (s *Store) RegisterWithStorage(cls *Class, storage []Instance) {
 
 // Registered reports whether cls has been registered.
 func (s *Store) Registered(cls *Class) bool {
+	if s.nshards > 0 {
+		return s.shardedClassOf(cls) != nil
+	}
 	s.lock()
 	defer s.unlock()
 	_, ok := s.classes[cls]
@@ -151,6 +244,14 @@ func (s *Store) Registered(cls *Class) bool {
 
 // Classes returns registered classes in registration order.
 func (s *Store) Classes() []*Class {
+	if s.nshards > 0 {
+		t := s.stab.Load()
+		out := make([]*Class, len(t.order))
+		for i, sc := range t.order {
+			out[i] = sc.cls
+		}
+		return out
+	}
 	s.lock()
 	defer s.unlock()
 	out := make([]*Class, len(s.order))
@@ -161,8 +262,13 @@ func (s *Store) Classes() []*Class {
 }
 
 // Instances returns a snapshot of the live instances of cls, primarily for
-// introspection and tests.
+// introspection and tests. The returned values are copies: later UpdateState
+// calls mutate the store's preallocated slots in place, and a snapshot that
+// aliased them would change under the caller mid-inspection.
 func (s *Store) Instances(cls *Class) []Instance {
+	if s.nshards > 0 {
+		return s.instancesSharded(cls)
+	}
 	s.lock()
 	defer s.unlock()
 	cs := s.classes[cls]
@@ -172,7 +278,8 @@ func (s *Store) Instances(cls *Class) []Instance {
 	var out []Instance
 	for i := range cs.insts {
 		if cs.insts[i].Active {
-			out = append(out, cs.insts[i])
+			inst := cs.insts[i] // copy, not alias: the slot is reused
+			out = append(out, inst)
 		}
 	}
 	return out
@@ -180,6 +287,13 @@ func (s *Store) Instances(cls *Class) []Instance {
 
 // LiveCount returns the number of active instances of cls.
 func (s *Store) LiveCount(cls *Class) int {
+	if s.nshards > 0 {
+		sc := s.shardedClassOf(cls)
+		if sc == nil {
+			return 0
+		}
+		return int(sc.live.Load())
+	}
 	s.lock()
 	defer s.unlock()
 	cs := s.classes[cls]
@@ -191,6 +305,15 @@ func (s *Store) LiveCount(cls *Class) int {
 
 // Reset expunges all instances of every class, as after a cleanup event.
 func (s *Store) Reset() {
+	if s.nshards > 0 {
+		t := s.stab.Load()
+		for _, sc := range t.order {
+			s.lockShards(sc, sc.allMask())
+			sc.expungeLocked()
+			s.unlockShards(sc, sc.allMask())
+		}
+		return
+	}
 	s.lock()
 	defer s.unlock()
 	for _, cs := range s.order {
@@ -200,6 +323,14 @@ func (s *Store) Reset() {
 
 // ResetClass expunges all instances of one class.
 func (s *Store) ResetClass(cls *Class) {
+	if s.nshards > 0 {
+		if sc := s.shardedClassOf(cls); sc != nil {
+			s.lockShards(sc, sc.allMask())
+			sc.expungeLocked()
+			s.unlockShards(sc, sc.allMask())
+		}
+		return
+	}
 	s.lock()
 	defer s.unlock()
 	if cs := s.classes[cls]; cs != nil {
@@ -224,13 +355,19 @@ func (cs *classState) findExact(key Key) *Instance {
 	return nil
 }
 
-// alloc claims a free preallocated slot, or returns nil on overflow.
+// alloc claims a free preallocated slot, or returns nil on overflow. The
+// live count is left untouched until the caller commits the slot: an error
+// path between alloc and activation must not leak the count.
 func (cs *classState) alloc() *Instance {
 	for i := range cs.insts {
 		if !cs.insts[i].Active {
-			cs.live++
 			return &cs.insts[i]
 		}
 	}
 	return nil
+}
+
+// commit accounts a slot claimed by alloc once it is activated.
+func (cs *classState) commit() {
+	cs.live++
 }

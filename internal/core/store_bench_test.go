@@ -1,0 +1,80 @@
+package core
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// benchShards selects the store implementation under benchmark from the
+// TESLA_STORE_SHARDS environment variable (1 = reference single-mutex store,
+// 0 or unset = sharded auto). `make bench-compare` runs these benchmarks
+// once per setting and diffs them with benchstat: the benchmark names are
+// identical across runs by construction.
+func benchShards() int {
+	n, err := strconv.Atoi(os.Getenv("TESLA_STORE_SHARDS"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// benchStore builds the OLTP-session store of the `-fig shard` figure: a
+// pool of keyed sessions inside a much larger preallocated block, so the
+// reference store's O(limit) scans are on display.
+func benchStore(shards int) (*Store, *Class, TransitionSet, TransitionSet) {
+	cls := &Class{Name: "bench", States: 8, Limit: 1024}
+	s := NewStoreOpts(StoreOpts{Context: Global, Shards: shards})
+	s.Register(cls)
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit, KeyMask: 1}}
+	work := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 1, KeyMask: 1}}
+	site := TransitionSet{{From: 1, To: 1, KeyMask: 1}, {From: 2, To: 2, KeyMask: 1}}
+	for k := 0; k < 128; k++ {
+		s.UpdateState(cls, "enter", 0, NewKey(Value(k)), enter)
+	}
+	return s, cls, work, site
+}
+
+// BenchmarkStoreOLTP drives keyed work and required-site events through the
+// global store from one goroutine.
+func BenchmarkStoreOLTP(b *testing.B) {
+	s, cls, work, site := benchStore(benchShards())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := NewKey(Value(i % 128))
+		if i%8 == 7 {
+			s.UpdateState(cls, "site", SymRequired, key, site)
+		} else {
+			s.UpdateState(cls, "work", 0, key, work)
+		}
+	}
+}
+
+// BenchmarkStoreOLTPParallel is the contended variant: RunParallel drives
+// disjoint key ranges from GOMAXPROCS goroutines.
+func BenchmarkStoreOLTPParallel(b *testing.B) {
+	s, cls, work, site := benchStore(benchShards())
+	var nextG int
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		g := nextG
+		nextG++
+		mu.Unlock()
+		base := (g * 16) % 128
+		i := 0
+		for pb.Next() {
+			key := NewKey(Value(base + i%16))
+			if i%8 == 7 {
+				s.UpdateState(cls, "site", SymRequired, key, site)
+			} else {
+				s.UpdateState(cls, "work", 0, key, work)
+			}
+			i++
+		}
+	})
+}

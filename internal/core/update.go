@@ -25,13 +25,24 @@ package core
 // a violation or overflow occurred; the store's Handler is notified of every
 // outcome regardless.
 func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Key, ts TransitionSet) error {
+	if s.nshards > 0 {
+		sc := s.shardedClassOf(cls)
+		if sc == nil {
+			// Implicit registration keeps one-off uses simple; hot
+			// paths should Register up front so this branch never
+			// runs.
+			s.Register(cls)
+			sc = s.shardedClassOf(cls)
+		}
+		return s.updateSharded(sc, symbol, flags, key, ts)
+	}
+
+	handler := s.Handler()
 	s.lock()
 	defer s.unlock()
 
 	cs := s.classes[cls]
 	if cs == nil {
-		// Implicit registration keeps one-off uses simple; hot paths
-		// should Register up front so this branch never runs.
 		s.unlock()
 		s.Register(cls)
 		s.lock()
@@ -40,7 +51,7 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 
 	var firstErr error
 	fail := func(v *Violation) {
-		s.handler.Fail(v)
+		handler.Fail(v)
 		if firstErr == nil {
 			firstErr = v
 		}
@@ -100,28 +111,29 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 			}
 			clone := cs.alloc()
 			if clone == nil {
-				s.handler.Overflow(cls, newKey)
+				handler.Overflow(cls, newKey)
 				if s.FailFast && firstErr == nil {
 					firstErr = ErrOverflow
 				}
 				continue
 			}
 			*clone = Instance{State: tr.To, Key: newKey, Active: true}
-			s.handler.InstanceClone(cls, inst, clone)
-			s.handler.Transition(cls, clone, tr.From, tr.To, symbol)
+			cs.commit()
+			handler.InstanceClone(cls, inst, clone)
+			handler.Transition(cls, clone, tr.From, tr.To, symbol)
 			matched = true
 			if tr.Cleanup() {
-				s.handler.Accept(cls, clone)
+				handler.Accept(cls, clone)
 			}
 			continue
 		}
 
 		from := inst.State
 		inst.State = tr.To
-		s.handler.Transition(cls, inst, from, tr.To, symbol)
+		handler.Transition(cls, inst, from, tr.To, symbol)
 		matched = true
 		if tr.Cleanup() {
-			s.handler.Accept(cls, inst)
+			handler.Accept(cls, inst)
 		}
 	}
 
@@ -131,17 +143,18 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 			if cs.findExact(initKey) == nil {
 				inst := cs.alloc()
 				if inst == nil {
-					s.handler.Overflow(cls, initKey)
+					handler.Overflow(cls, initKey)
 					if s.FailFast && firstErr == nil {
 						firstErr = ErrOverflow
 					}
 				} else {
 					*inst = Instance{State: init.To, Key: initKey, Active: true}
-					s.handler.InstanceNew(cls, inst)
-					s.handler.Transition(cls, inst, init.From, init.To, symbol)
+					cs.commit()
+					handler.InstanceNew(cls, inst)
+					handler.Transition(cls, inst, init.From, init.To, symbol)
 					matched = true
 					if init.Cleanup() {
-						s.handler.Accept(cls, inst)
+						handler.Accept(cls, inst)
 					}
 				}
 			}

@@ -29,6 +29,11 @@ type Options struct {
 	// cleanup events and initialises instances lazily when they receive
 	// their first non-initialisation event (§5.2.2).
 	Naive bool
+	// GlobalShards selects the global store's lock-stripe count, passed
+	// through to core.StoreOpts.Shards: 0 sizes the sharded store to
+	// GOMAXPROCS, 1 selects the single-mutex reference store, ≥2 forces a
+	// stripe count. Per-thread stores are unaffected.
+	GlobalShards int
 }
 
 // symRef locates one symbol of one automaton.
@@ -93,7 +98,7 @@ func newLazyState(bounds, autos int) lazyState {
 func New(opts Options, autos ...*automata.Automaton) (*Monitor, error) {
 	m := &Monitor{
 		opts:      opts,
-		global:    core.NewStore(core.Global, opts.Handler),
+		global:    core.NewStoreOpts(core.StoreOpts{Context: core.Global, Handler: opts.Handler, Shards: opts.GlobalShards}),
 		callIdx:   map[string][]symRef{},
 		retIdx:    map[string][]symRef{},
 		msgIdx:    map[string][]symRef{},

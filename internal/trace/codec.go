@@ -164,22 +164,25 @@ func readBinary(br *bufio.Reader) (*Trace, error) {
 				ev.HasRet = true
 				ev.Ret = core.Value(dec.varint())
 			}
+			// Grow element-wise with a small initial capacity: a corrupt
+			// length prefix must cost at most the bytes actually present,
+			// not an upfront make() of the claimed size.
 			if n := dec.uvarint(); n > 0 && dec.err == nil {
 				if n > maxTraceEvents {
 					return nil, fmt.Errorf("trace: implausible value count %d", n)
 				}
-				ev.Vals = make([]core.Value, n)
-				for j := range ev.Vals {
-					ev.Vals[j] = core.Value(dec.varint())
+				ev.Vals = make([]core.Value, 0, minU64(n, 64))
+				for j := uint64(0); j < n && dec.err == nil; j++ {
+					ev.Vals = append(ev.Vals, core.Value(dec.varint()))
 				}
 			}
 			if n := dec.uvarint(); n > 0 && dec.err == nil {
 				if n > maxTraceEvents {
 					return nil, fmt.Errorf("trace: implausible instack count %d", n)
 				}
-				ev.InStack = make([]int, n)
-				for j := range ev.InStack {
-					ev.InStack[j] = int(dec.varint())
+				ev.InStack = make([]int, 0, minU64(n, 64))
+				for j := uint64(0); j < n && dec.err == nil; j++ {
+					ev.InStack = append(ev.InStack, int(dec.varint()))
 				}
 			}
 		case KindInit, KindClone, KindTransition, KindAccept, KindFail, KindOverflow:
@@ -200,6 +203,13 @@ func readBinary(br *bufio.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: truncated or corrupt trace: %w", dec.err)
 	}
 	return t, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // encoder accumulates binary output, deferring the first error. Strings are

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+)
+
+// fuzzSeedTrace is a small trace exercising every event kind, both key
+// shapes, string interning (repeated names) and the optional return value.
+func fuzzSeedTrace() *Trace {
+	return &Trace{
+		FormatVersion: Version,
+		Automata:      []string{"a", "b"},
+		Dropped:       1,
+		Events: []Event{
+			{Seq: 1, Thread: 0, Kind: KindProgram, Prog: monitor.ProgCall, Fn: "open", Vals: []core.Value{1, 2}},
+			{Seq: 2, Thread: 0, Kind: KindProgram, Prog: monitor.ProgReturn, Fn: "open", Ret: 3, HasRet: true},
+			{Seq: 3, Thread: 0, Kind: KindProgram, Prog: monitor.ProgSite, Fn: "a", Auto: 0, InStack: []int{0, 2}},
+			{Seq: 4, Thread: -1, Kind: KindInit, Class: "a", Key: core.NewKey(7), State: 1},
+			{Seq: 5, Thread: -1, Kind: KindClone, Class: "a", ParentKey: core.AnyKey, Key: core.NewKey(7), State: 2},
+			{Seq: 6, Thread: -1, Kind: KindTransition, Class: "a", Key: core.NewKey(7), From: 1, To: 2, Symbol: "open"},
+			{Seq: 7, Thread: -1, Kind: KindAccept, Class: "a", Key: core.NewKey(7)},
+			{Seq: 8, Thread: -1, Kind: KindFail, Class: "b", Key: core.AnyKey, Verdict: core.VerdictNoInstance, Symbol: "site"},
+			{Seq: 9, Thread: -1, Kind: KindOverflow, Class: "b", Key: core.NewKey(1, 2)},
+		},
+	}
+}
+
+// FuzzCodecRoundTrip checks that Read never panics on arbitrary bytes, and
+// that any trace Read accepts survives a binary encode/decode round trip:
+// re-encoding the decoded trace yields the same trace again. (The first
+// binary pass canonicalises JSON-only looseness such as empty-vs-nil
+// slices, so the invariant compares the first and second binary decodes;
+// for binary inputs that is the identity.)
+func FuzzCodecRoundTrip(f *testing.F) {
+	var bin bytes.Buffer
+	if err := Write(&bin, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	var js bytes.Buffer
+	if err := WriteJSON(&js, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(js.Bytes())
+	f.Add([]byte("TESLATRC"))
+	f.Add([]byte("{"))
+	f.Add(append([]byte("TESLATRC\x01\x00\x00"), 0xff, 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		t1, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking or over-allocating is not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, t1); err != nil {
+			t.Fatalf("encode of accepted trace failed: %v", err)
+		}
+		t2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := Write(&buf2, t2); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		t3, err := Read(bytes.NewReader(buf2.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(t2, t3) {
+			t.Fatalf("binary round trip not stable:\nfirst:  %+v\nsecond: %+v", t2, t3)
+		}
+		if data[0] != '{' && !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("binary encoding not canonical: %x vs %x", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}
+
+// TestCodecRoundTripSeed pins the seed trace's exact round trip in the
+// ordinary test suite, so codec regressions fail fast without the fuzzer.
+func TestCodecRoundTripSeed(t *testing.T) {
+	want := fuzzSeedTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the trace:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
