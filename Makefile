@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild
 
-ci: fmt vet build test race check fuzz-smoke bench-compare
+ci: fmt vet build test race check cache-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,8 +24,9 @@ build:
 test:
 	$(GO) test ./...
 
-# The monitor's global-context path and the trace recorder are exercised
-# from many goroutines; keep them provably race-free.
+# The monitor's global-context path, the trace recorder and the build
+# graph's scheduler/cache are exercised from many goroutines; keep them
+# provably race-free.
 race:
 	$(GO) test -race ./...
 
@@ -37,6 +38,26 @@ check: build
 
 bench:
 	$(GO) run ./cmd/tesla-bench -fig elision -files 8
+
+# The §5.1 rebuild matrix on the build graph: cold vs warm vs one-file
+# incremental, sequential vs parallel.
+bench-rebuild:
+	$(GO) run ./cmd/tesla-bench -fig rebuild -files 12
+
+# Cache-correctness gate: build the example program twice against the same
+# on-disk cache. The second build must do zero stage work (built=0 in the
+# summary line) and both linked-IR dumps must be byte-identical.
+CACHEGATE := /tmp/tesla-cache-gate
+cache-gate: build
+	@rm -rf $(CACHEGATE) && mkdir -p $(CACHEGATE)
+	$(GO) run ./cmd/tesla-build -cache $(CACHEGATE)/cache -o $(CACHEGATE)/a.ir \
+		examples/buildgraph/testdata/*.c
+	$(GO) run ./cmd/tesla-build -cache $(CACHEGATE)/cache -o $(CACHEGATE)/b.ir \
+		examples/buildgraph/testdata/*.c | tee $(CACHEGATE)/second.out
+	@grep -q 'built=0' $(CACHEGATE)/second.out || \
+		{ echo "cache-gate: warm build rebuilt nodes"; exit 1; }
+	cmp $(CACHEGATE)/a.ir $(CACHEGATE)/b.ir
+	@echo "cache-gate: warm build fully cached, IR byte-identical"
 
 # Short fuzz pass over the binary/JSON trace codec and the csub front end
 # ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail

@@ -13,37 +13,26 @@ import (
 	"os"
 
 	"tesla/internal/analyse"
+	"tesla/internal/toolchain/cli"
 )
 
 func main() {
+	tool := cli.New("tesla-analyse", "[-o combined.tesla] [-print] file.c...")
 	out := flag.String("o", "", "path for the combined program manifest (default: program.tesla)")
 	print := flag.Bool("print", false, "print manifests to stdout instead of writing files")
 	lint := flag.Bool("lint", false, "also report assertions whose events can never occur")
 	entry := flag.String("entry", "main", "entry point for the -lint static checker")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tesla-analyse [-o combined.tesla] [-print] file.c...")
-		os.Exit(2)
-	}
-
-	sources := map[string]string{}
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		sources[path] = string(data)
-	}
+	sources := tool.LoadSources(tool.ParseSourceArgs())
 
 	perFile, combined, err := analyse.Sources(sources)
 	if err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 
 	if *lint {
 		warnings, _, err := analyse.LintProgram(sources, *entry)
 		if err != nil {
-			fatal(err)
+			tool.Fatal(err)
 		}
 		for _, w := range warnings {
 			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
@@ -54,12 +43,12 @@ func main() {
 		for name, m := range perFile {
 			fmt.Printf("; %s (%d assertions)\n", name, len(m.Assertions))
 			if err := m.Encode(os.Stdout); err != nil {
-				fatal(err)
+				tool.Fatal(err)
 			}
 		}
 		fmt.Printf("; combined (%d assertions)\n", len(combined.Assertions))
 		if err := combined.Encode(os.Stdout); err != nil {
-			fatal(err)
+			tool.Fatal(err)
 		}
 		return
 	}
@@ -67,7 +56,7 @@ func main() {
 	for name, m := range perFile {
 		path := name + ".tesla"
 		if err := m.Save(path); err != nil {
-			fatal(err)
+			tool.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d assertions)\n", path, len(m.Assertions))
 	}
@@ -76,12 +65,7 @@ func main() {
 		target = "program.tesla"
 	}
 	if err := combined.Save(target); err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d assertions)\n", target, len(combined.Assertions))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tesla-analyse:", err)
-	os.Exit(1)
 }

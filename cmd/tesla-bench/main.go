@@ -7,7 +7,7 @@
 //
 //	tesla-bench -all
 //	tesla-bench -table 1
-//	tesla-bench -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard
+//	tesla-bench -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild
 package main
 
 import (
@@ -21,13 +21,13 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run everything")
 	table := flag.String("table", "", "regenerate a table (1)")
-	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elision, trace, shard)")
+	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elision, trace, shard, rebuild)")
 	iters := flag.Int("iters", 2000, "iterations per measurement")
 	files := flag.Int("files", 24, "files in the figure 10 synthetic codebase")
 	flag.Parse()
 
 	if !*all && *table == "" && *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: tesla-bench -all | -table 1 | -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard")
+		fmt.Fprintln(os.Stderr, "usage: tesla-bench -all | -table 1 | -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild")
 		os.Exit(2)
 	}
 
@@ -76,5 +76,8 @@ func main() {
 	}
 	if want("shard") {
 		run("shard", func() error { return bench.FigShard(w, *iters) })
+	}
+	if want("rebuild") {
+		run("rebuild", func() error { return bench.FigRebuild(w, *files, 6) })
 	}
 }

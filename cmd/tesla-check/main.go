@@ -18,30 +18,19 @@ import (
 	"os"
 
 	"tesla/internal/staticcheck"
+	"tesla/internal/toolchain/cli"
 )
 
 func main() {
+	tool := cli.New("tesla-check", "[-entry main] [-dot] [-q] file.c...")
 	entry := flag.String("entry", "main", "program entry point the analysis starts from")
 	dot := flag.Bool("dot", false, "dump each assertion's explored product graph as Graphviz")
 	quiet := flag.Bool("q", false, "only print non-SAFE assertions")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tesla-check [-entry main] [-dot] [-q] file.c...")
-		os.Exit(2)
-	}
-
-	sources := map[string]string{}
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		sources[path] = string(data)
-	}
+	sources := tool.LoadSources(tool.ParseSourceArgs())
 
 	rep, err := staticcheck.CheckSources(sources, *entry)
 	if err != nil {
-		fatal(err)
+		tool.FatalCode(2, err)
 	}
 
 	for _, r := range rep.Results {
@@ -62,9 +51,4 @@ func main() {
 	if failing > 0 {
 		os.Exit(1)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tesla-check:", err)
-	os.Exit(2)
 }

@@ -11,40 +11,28 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"tesla/internal/manifest"
 	"tesla/internal/toolchain"
+	"tesla/internal/toolchain/cli"
 )
 
 func main() {
+	tool := cli.New("tesla-instrument", "[-manifest m.tesla] [-dump] [-strip] file.c...")
 	manifestPath := flag.String("manifest", "", "instrument against this manifest instead of the sources' own assertions")
 	dump := flag.Bool("dump", false, "print the linked instrumented IR")
 	strip := flag.Bool("strip", false, "produce the uninstrumented (Default) build instead")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tesla-instrument [-manifest m.tesla] [-dump] [-strip] file.c...")
-		os.Exit(2)
-	}
-
-	sources := map[string]string{}
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		sources[path] = string(data)
-	}
+	sources := tool.LoadSources(tool.ParseSourceArgs())
 
 	build, err := toolchain.BuildProgram(sources, !*strip)
 	if err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 
 	if *manifestPath != "" {
 		m, err := manifest.Load(*manifestPath)
 		if err != nil {
-			fatal(err)
+			tool.Fatal(err)
 		}
 		fmt.Printf("manifest %s: %d assertions (build used %d from sources)\n",
 			*manifestPath, len(m.Assertions), len(build.Manifest.Assertions))
@@ -58,9 +46,4 @@ func main() {
 	if *dump {
 		fmt.Print(build.Program.String())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tesla-instrument:", err)
-	os.Exit(1)
 }

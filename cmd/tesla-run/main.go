@@ -3,11 +3,15 @@
 // detected; with -failstop (TESLA's default behaviour in the paper) the
 // first violation aborts execution. With -trace, every program and
 // automaton lifecycle event is recorded to a trace file for offline replay
-// and shrinking with tesla-trace.
+// and shrinking with tesla-trace. The build runs through the parallel
+// content-hash-cached graph: -j bounds the workers, -cache persists
+// artifacts across runs, and -explain reports which graph nodes were
+// cache hits versus rebuilt.
 //
 // Usage:
 //
-//	tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-entry main] [-arg N]... file.c...
+//	tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-entry main]
+//	          [-j N] [-cache dir] [-explain] [-arg N]... file.c...
 package main
 
 import (
@@ -19,10 +23,13 @@ import (
 	"tesla/internal/core"
 	"tesla/internal/monitor"
 	"tesla/internal/toolchain"
+	"tesla/internal/toolchain/cli"
 	"tesla/internal/trace"
 )
 
 func main() {
+	tool := cli.New("tesla-run",
+		"[-plain] [-failstop] [-debug] [-trace out.tr] [-j N] [-cache dir] [-explain] [-arg N]... file.c...")
 	plain := flag.Bool("plain", false, "run without instrumentation (Default build)")
 	failstop := flag.Bool("failstop", false, "abort on the first violation")
 	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
@@ -30,26 +37,16 @@ func main() {
 	traceCap := flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
 	entry := flag.String("entry", "main", "entry function")
 	shards := flag.Int("shards", 0, "global-store lock stripes (0 = GOMAXPROCS, 1 = single-mutex reference store)")
+	buildFlags := cli.RegisterBuildFlags()
 	var args intList
 	flag.Var(&args, "arg", "integer argument to the entry function (repeatable)")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-arg N]... file.c...")
-		os.Exit(2)
-	}
+	sources := tool.LoadSources(tool.ParseSourceArgs())
 
-	sources := map[string]string{}
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		sources[path] = string(data)
-	}
-
-	build, err := toolchain.BuildProgram(sources, !*plain)
+	opts := toolchain.BuildOptions{Instrument: !*plain}
+	buildFlags.Apply(&opts)
+	build, err := toolchain.BuildProgramOpts(sources, opts)
 	if err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 
 	counting := core.NewCountingHandler()
@@ -57,17 +54,17 @@ func main() {
 	if *debug {
 		handler = append(handler, &core.PrintHandler{W: os.Stderr})
 	}
-	opts := monitor.Options{FailFast: *failstop, GlobalShards: *shards}
+	monOpts := monitor.Options{FailFast: *failstop, GlobalShards: *shards}
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		rec = trace.NewRecorder(build.Autos, *traceCap)
 		handler = append(handler, rec)
-		opts.Tap = rec
+		monOpts.Tap = rec
 	}
-	opts.Handler = handler
-	rt, err := build.NewRuntime(opts)
+	monOpts.Handler = handler
+	rt, err := build.NewRuntime(monOpts)
 	if err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 	rt.VM.Out = os.Stdout
 
@@ -75,7 +72,7 @@ func main() {
 	// The trace is saved on every exit path: an aborted (fail-stop) run's
 	// trace is exactly what shrinking wants.
 	if rec != nil {
-		saveTrace(rec, *tracePath)
+		saveTrace(tool, rec, *tracePath)
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "tesla-run: execution aborted: %v\n", runErr)
@@ -108,11 +105,11 @@ func exitViolations(counting *core.CountingHandler) bool {
 	return true
 }
 
-func saveTrace(rec *trace.Recorder, path string) {
+func saveTrace(tool *cli.Tool, rec *trace.Recorder, path string) {
 	tr := rec.Snapshot()
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".json") {
@@ -121,7 +118,7 @@ func saveTrace(rec *trace.Recorder, path string) {
 		err = trace.Write(f, tr)
 	}
 	if err != nil {
-		fatal(err)
+		tool.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "tesla-run: wrote %d event(s) to %s\n", len(tr.Events), path)
 }
@@ -137,9 +134,4 @@ func (l *intList) Set(s string) error {
 	}
 	*l = append(*l, v)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tesla-run:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,6 @@
+int fetch(int sig) {
+	int ok = verify(sig);
+	TESLA_WITHIN(main, previously(verify(ANY(int)) == 1));
+	return ok;
+}
+int main(int sig) { return fetch(sig); }

@@ -1,0 +1,5 @@
+int verify(int sig) {
+	int c = checksum(sig);
+	if (c == 0) { return 1; }
+	return 0;
+}

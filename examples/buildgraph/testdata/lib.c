@@ -1,0 +1,1 @@
+int checksum(int x) { return x % 97; }

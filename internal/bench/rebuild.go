@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tesla/internal/build"
+	"tesla/internal/toolchain"
+)
+
+// FigRebuild measures the §5.1 rebuild matrix on the content-hash-cached
+// build graph over the synthetic OpenSSL codebase: cold builds (sequential
+// reference, graph at -j1 and -jN), a warm no-op rebuild, a one-file body
+// edit (re-instruments only the edited unit) and a one-file assertion edit
+// (the one-to-many property: the combined manifest changes, so every unit
+// re-instruments while every compile stays cached).
+func FigRebuild(w io.Writer, files, fnsPerFile int) error {
+	sources := OpenSSLCodebase(files, fnsPerFile)
+	cores := runtime.GOMAXPROCS(0)
+	// The parallel scenario always exercises the multi-worker scheduler;
+	// wall-clock speedup over -j1 is of course bounded by the core count.
+	jobs := cores
+	if jobs < 4 {
+		jobs = 4
+	}
+
+	measure := func(srcs map[string]string, dir string, j int) (*toolchain.Build, time.Duration, error) {
+		start := time.Now()
+		b, err := toolchain.BuildProgramOpts(srcs, toolchain.BuildOptions{
+			Instrument: true, CacheDir: dir, Jobs: j,
+		})
+		return b, time.Since(start), err
+	}
+	report := func(label string, d time.Duration, b *toolchain.Build, note string) {
+		line := fmt.Sprintf("  %-28s %12v", label, d.Round(10*time.Microsecond))
+		if b != nil {
+			c := b.Graph.Counts()
+			line += fmt.Sprintf("  built=%-3d hits=%-3d", c.Built, c.MemHits+c.DiskHits)
+		}
+		if note != "" {
+			line += "  " + note
+		}
+		fmt.Fprintln(w, line)
+	}
+	// rebuilt counts the instrument nodes that actually re-ran.
+	rebuilt := func(b *toolchain.Build) (instr, total int) {
+		for _, n := range b.Graph.Nodes {
+			if strings.HasPrefix(n.ID, "instrument:") {
+				total++
+				if n.Status == build.StatusBuilt {
+					instr++
+				}
+			}
+		}
+		return
+	}
+
+	fmt.Fprintf(w, "Figure rebuild (§5.1): incremental re-instrumentation (%d files, %d core(s))\n",
+		len(sources), cores)
+
+	start := time.Now()
+	if _, err := toolchain.BuildSequential(sources, toolchain.BuildOptions{Instrument: true}); err != nil {
+		return err
+	}
+	report("cold, sequential reference", time.Since(start), nil, "")
+
+	dirs := make([]string, 2)
+	for i := range dirs {
+		d, err := os.MkdirTemp("", "tesla-rebuild-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dirs[i] = d
+	}
+
+	b, d, err := measure(sources, dirs[0], 1)
+	if err != nil {
+		return err
+	}
+	report("cold, graph -j1", d, b, "")
+
+	b, d, err = measure(sources, dirs[1], jobs)
+	if err != nil {
+		return err
+	}
+	report(fmt.Sprintf("cold, graph -j%d", jobs), d, b, "")
+
+	b, d, err = measure(sources, dirs[1], jobs)
+	if err != nil {
+		return err
+	}
+	note := ""
+	if b.Graph.AllCached() {
+		note = "(all cached, nothing parsed)"
+	}
+	report("warm no-op", d, b, note)
+
+	// Body edit: one library function changes, no assertion involved. The
+	// edited file's fragment reproduces the same bytes, so combine and
+	// automata hit the cache and only the edited unit re-instruments.
+	bodyEdit := OpenSSLCodebase(files, fnsPerFile)
+	bodyEdit["ssl_s3_0.c"] = strings.Replace(bodyEdit["ssl_s3_0.c"],
+		"int x = a * 3 + b;", "int x = a * 5 + b;", 1)
+	b, d, err = measure(bodyEdit, dirs[1], jobs)
+	if err != nil {
+		return err
+	}
+	in, total := rebuilt(b)
+	report("body edit (1 file)", d, b, fmt.Sprintf("(re-instrumented %d/%d units)", in, total))
+
+	// Assertion edit: the client's assertion changes, so the combined
+	// manifest changes — every unit re-instruments (one-to-many) even
+	// though every other compile is still served from the cache.
+	assertEdit := OpenSSLCodebase(files, fnsPerFile)
+	assertEdit["client.c"] = strings.Replace(assertEdit["client.c"],
+		"ANY(int), ANY(ptr)) == 1", "ANY(int), ANY(ptr)) == 0", 1)
+	b, d, err = measure(assertEdit, dirs[1], jobs)
+	if err != nil {
+		return err
+	}
+	in, total = rebuilt(b)
+	report("assertion edit (1 file)", d, b,
+		fmt.Sprintf("(one-to-many: re-instrumented %d/%d units)", in, total))
+
+	fmt.Fprintf(w, "  paper shape: a body edit rebuilds one unit; an assertion edit rebuilds all\n")
+	fmt.Fprintf(w, "  of them — but with the graph the compiles stay cached, so the §5.1\n")
+	fmt.Fprintf(w, "  incremental penalty shrinks to the instrumentation stage alone.\n\n")
+	return nil
+}

@@ -1,0 +1,264 @@
+package build_test
+
+// Cache-behaviour tests: what re-runs after an edit. These pin down the
+// §5.1 rebuild semantics the graph exists to reproduce — a body edit
+// re-instruments one unit, an assertion edit re-instruments all of them —
+// plus cache robustness (corrupt objects) and diagnostic collection.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tesla/internal/build"
+	"tesla/internal/toolchain"
+)
+
+// threeFiles is a small cross-file program: lib defines the event, crypto
+// uses it, client asserts it.
+func threeFiles() map[string]string {
+	return map[string]string{
+		"lib.c": `
+int checksum(int x) { return x % 97; }
+`,
+		"crypto.c": `
+int verify(int sig) {
+	int c = checksum(sig);
+	if (c == 0) { return 1; }
+	return 0;
+}
+`,
+		"client.c": `
+int fetch(int sig) {
+	int ok = verify(sig);
+	TESLA_WITHIN(main, previously(verify(ANY(int)) == 1));
+	return ok;
+}
+int main(int sig) { return fetch(sig); }
+`,
+	}
+}
+
+// statuses maps node ID → status for a build's report.
+func statuses(b *toolchain.Build) map[string]build.Status {
+	out := map[string]build.Status{}
+	for _, n := range b.Graph.Nodes {
+		out[n.ID] = n.Status
+	}
+	return out
+}
+
+func mustBuild(t *testing.T, sources map[string]string, opts toolchain.BuildOptions) *toolchain.Build {
+	t.Helper()
+	b, err := toolchain.BuildProgramOpts(sources, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSecondBuildAllHits(t *testing.T) {
+	dir := t.TempDir()
+	opts := toolchain.BuildOptions{Instrument: true, CacheDir: dir}
+	cold := mustBuild(t, threeFiles(), opts)
+	if c := cold.Graph.Counts(); c.Built == 0 {
+		t.Fatalf("cold build should build: %s", cold.Graph.Summary())
+	}
+	warm := mustBuild(t, threeFiles(), opts)
+	c := warm.Graph.Counts()
+	if !warm.Graph.AllCached() || c.DiskHits == 0 {
+		t.Fatalf("warm build not fully cached: %s", warm.Graph.Summary())
+	}
+	// No file may have been re-parsed.
+	for _, n := range warm.Graph.Nodes {
+		if strings.HasPrefix(n.ID, "parse:") {
+			t.Errorf("warm build re-parsed: %s", n.ID)
+		}
+	}
+	if cold.Program.String() != warm.Program.String() {
+		t.Fatal("warm program differs from cold")
+	}
+}
+
+// TestBodyEditReinstrumentsOneUnit: editing a function body leaves the
+// manifest fragments unchanged, so only the edited unit re-compiles and
+// re-instruments; every other unit's artifacts are reused.
+func TestBodyEditReinstrumentsOneUnit(t *testing.T) {
+	dir := t.TempDir()
+	opts := toolchain.BuildOptions{Instrument: true, CacheDir: dir}
+	mustBuild(t, threeFiles(), opts)
+
+	edited := threeFiles()
+	edited["lib.c"] = `
+int checksum(int x) { return x % 89; }
+`
+	incr := mustBuild(t, edited, opts)
+	st := statuses(incr)
+
+	for id, want := range map[string]build.Status{
+		"compile:lib.c":       build.StatusBuilt,
+		"instrument:lib.c":    build.StatusBuilt,
+		"analyse:lib.c":       build.StatusBuilt, // re-runs, reproduces same bytes
+		"combine":             build.StatusDiskHit,
+		"automata":            build.StatusDiskHit,
+		"compile:crypto.c":    build.StatusDiskHit,
+		"compile:client.c":    build.StatusDiskHit,
+		"instrument:crypto.c": build.StatusDiskHit,
+		"instrument:client.c": build.StatusDiskHit,
+		"link":                build.StatusBuilt,
+	} {
+		if st[id] != want {
+			t.Errorf("%s: status %s, want %s", id, st[id], want)
+		}
+	}
+	// Only the edited file was parsed.
+	for _, n := range incr.Graph.Nodes {
+		if strings.HasPrefix(n.ID, "parse:") && n.ID != "parse:lib.c" {
+			t.Errorf("incremental build parsed %s", n.ID)
+		}
+	}
+}
+
+// TestAssertionEditReinstrumentsEverything reproduces the paper's
+// one-to-many property: touching one file's assertion changes the combined
+// manifest, which every unit's instrumentation keys on — all of them
+// rebuild, even though only one source changed.
+func TestAssertionEditReinstrumentsEverything(t *testing.T) {
+	dir := t.TempDir()
+	opts := toolchain.BuildOptions{Instrument: true, CacheDir: dir}
+	mustBuild(t, threeFiles(), opts)
+
+	edited := threeFiles()
+	edited["client.c"] = strings.Replace(edited["client.c"],
+		"verify(ANY(int)) == 1", "verify(ANY(int)) == 0", 1)
+	incr := mustBuild(t, edited, opts)
+	st := statuses(incr)
+
+	for id, want := range map[string]build.Status{
+		"compile:client.c":    build.StatusBuilt,
+		"analyse:client.c":    build.StatusBuilt,
+		"combine":             build.StatusBuilt,
+		"automata":            build.StatusBuilt,
+		"instrument:lib.c":    build.StatusBuilt, // unchanged source, re-instrumented
+		"instrument:crypto.c": build.StatusBuilt, // unchanged source, re-instrumented
+		"instrument:client.c": build.StatusBuilt,
+		"compile:lib.c":       build.StatusDiskHit, // but never re-compiled
+		"compile:crypto.c":    build.StatusDiskHit,
+		"link":                build.StatusBuilt,
+	} {
+		if st[id] != want {
+			t.Errorf("%s: status %s, want %s", id, st[id], want)
+		}
+	}
+}
+
+// TestInterfaceEditRecompilesDependents: adding a #define changes the
+// file's interface summary, which every compile keys on (the role of a
+// header edit) — but unchanged files still early-cut at instrumentation
+// because their recompiled modules hash identically.
+func TestInterfaceEditRecompilesDependents(t *testing.T) {
+	dir := t.TempDir()
+	opts := toolchain.BuildOptions{Instrument: true, CacheDir: dir}
+	mustBuild(t, threeFiles(), opts)
+
+	edited := threeFiles()
+	edited["lib.c"] = `
+#define MODULUS 97
+int checksum(int x) { return x % MODULUS; }
+`
+	incr := mustBuild(t, edited, opts)
+	st := statuses(incr)
+	for _, id := range []string{"compile:lib.c", "compile:crypto.c", "compile:client.c"} {
+		if st[id] != build.StatusBuilt {
+			t.Errorf("%s: status %s, want %s (interface change must recompile)", id, st[id], build.StatusBuilt)
+		}
+	}
+	// crypto.c and client.c recompile to identical modules: early cutoff
+	// keeps their instrumentation cached.
+	for _, id := range []string{"instrument:crypto.c", "instrument:client.c"} {
+		if st[id] != build.StatusDiskHit {
+			t.Errorf("%s: status %s, want %s (early cutoff)", id, st[id], build.StatusDiskHit)
+		}
+	}
+}
+
+// TestCorruptCacheObjectRebuilds: a truncated or garbage object is a miss,
+// not an error.
+func TestCorruptCacheObjectRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	opts := toolchain.BuildOptions{Instrument: true, CacheDir: dir}
+	cold := mustBuild(t, threeFiles(), opts)
+
+	objects := filepath.Join(dir, "objects")
+	var clobbered int
+	err := filepath.Walk(objects, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		clobbered++
+		return os.WriteFile(path, []byte("not an artifact"), 0o644)
+	})
+	if err != nil || clobbered == 0 {
+		t.Fatalf("clobber failed: %d objects, %v", clobbered, err)
+	}
+
+	rebuilt := mustBuild(t, threeFiles(), opts)
+	if cold.Program.String() != rebuilt.Program.String() {
+		t.Fatal("rebuild over corrupt cache produced different program")
+	}
+	warm := mustBuild(t, threeFiles(), opts)
+	if !warm.Graph.AllCached() {
+		t.Fatalf("cache did not repair itself: %s", warm.Graph.Summary())
+	}
+}
+
+// TestAllParseErrorsReported: the build must surface every failing file's
+// diagnostics with positions, not stop at the first.
+func TestAllParseErrorsReported(t *testing.T) {
+	_, err := toolchain.BuildProgram(map[string]string{
+		"good.c": "int main(int x) { return x; }\n",
+		"bad1.c": "int f( { return 0; }\n",
+		"bad2.c": "int g() { return 0\n",
+	}, true)
+	if err == nil {
+		t.Fatal("want parse errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad1.c:", "bad2.c:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing diagnostics for %s", msg, want)
+		}
+	}
+	var list *build.ErrorList
+	if !asErrorList(err, &list) || len(list.Errs) != 2 {
+		t.Fatalf("want ErrorList with 2 entries, got %T: %v", err, err)
+	}
+}
+
+// TestAllCompileErrorsReported: same for the compile stage — both files'
+// errors, each with file:line.
+func TestAllCompileErrorsReported(t *testing.T) {
+	_, err := toolchain.BuildProgram(map[string]string{
+		"bad1.c": "int f(int x) { y = 3; return x; }\n",
+		"bad2.c": "int g(int x) { z = 4; return x; }\n",
+		"main.c": "int main(int x) { return x; }\n",
+	}, true)
+	if err == nil {
+		t.Fatal("want compile errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad1.c:1", "bad2.c:1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing positioned diagnostic %s", msg, want)
+		}
+	}
+}
+
+func asErrorList(err error, target **build.ErrorList) bool {
+	if l, ok := err.(*build.ErrorList); ok {
+		*target = l
+		return true
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package build
+
+import "strings"
+
+// ErrorList aggregates per-node diagnostics. The graph does not stop at
+// the first failing file: every parse error (and, once parsing succeeds,
+// every compile error) across the program is collected, each carrying its
+// file:line position from the front end.
+type ErrorList struct {
+	Errs []error
+}
+
+func (e *ErrorList) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	var b strings.Builder
+	for i, err := range e.Errs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(err.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual diagnostics to errors.Is/As and to
+// multi-error-aware printers.
+func (e *ErrorList) Unwrap() []error { return e.Errs }
+
+// buildError wraps the collected diagnostics: one error stays bare so
+// single-failure behaviour matches the sequential pipeline's exactly.
+func buildError(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	return &ErrorList{Errs: errs}
+}

@@ -40,28 +40,8 @@ func NewContext(files ...*csub.File) (*Context, error) {
 		globals:    map[string]bool{},
 	}
 	for _, f := range files {
-		for _, s := range f.Structs {
-			if _, dup := ctx.structDefs[s.Name]; dup {
-				return nil, fmt.Errorf("compiler: struct %s defined twice", s.Name)
-			}
-			ctx.structDefs[s.Name] = s
-			st := &ir.StructType{Name: s.Name}
-			for i, fd := range s.Fields {
-				st.Fields = append(st.Fields, ir.Field{Name: fd.Name, Offset: i})
-			}
-			ctx.structs[s.Name] = st
-		}
-		for k, v := range f.Defines {
-			ctx.defines[k] = v
-		}
-		for _, fn := range f.Funcs {
-			if ctx.fns[fn.Name] {
-				return nil, fmt.Errorf("compiler: function %s defined twice", fn.Name)
-			}
-			ctx.fns[fn.Name] = true
-		}
-		for _, g := range f.Globals {
-			ctx.globals[g.Name] = true
+		if err := ctx.addInterface(InterfaceOf(f)); err != nil {
+			return nil, err
 		}
 	}
 	return ctx, nil

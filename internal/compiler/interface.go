@@ -1,0 +1,106 @@
+// Interface summaries: the cross-file facts a compilation unit exports to
+// the rest of the build — struct layouts, #define constants, function and
+// global names. They are what C headers carry, and they are all a Context
+// needs: internal/build caches one summary per file so that an unchanged
+// file's interface can be loaded from disk and the file itself never
+// re-parsed, and so that editing a function body (which cannot change the
+// summary) does not invalidate other files' compilations.
+package compiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tesla/internal/csub"
+	"tesla/internal/ir"
+)
+
+// Interface is the serialisable cross-file summary of one parsed file.
+type Interface struct {
+	Source  string            `json:"source"`
+	Structs []*csub.StructDef `json:"structs,omitempty"`
+	Defines map[string]int64  `json:"defines,omitempty"`
+	Fns     []string          `json:"fns,omitempty"`
+	Globals []string          `json:"globals,omitempty"`
+}
+
+// InterfaceOf extracts the summary from a parsed file.
+func InterfaceOf(f *csub.File) *Interface {
+	in := &Interface{Source: f.Name, Structs: f.Structs}
+	if len(f.Defines) > 0 {
+		in.Defines = f.Defines
+	}
+	for _, fn := range f.Funcs {
+		in.Fns = append(in.Fns, fn.Name)
+	}
+	for _, g := range f.Globals {
+		in.Globals = append(in.Globals, g.Name)
+	}
+	return in
+}
+
+// Encode renders the summary as canonical JSON (map keys sorted), so that
+// equal summaries are byte-equal — the property content-hash cache keys
+// rely on.
+func (in *Interface) Encode() ([]byte, error) {
+	return json.Marshal(in)
+}
+
+// DecodeInterface parses an encoded summary.
+func DecodeInterface(data []byte) (*Interface, error) {
+	var in Interface
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("compiler: interface: %w", err)
+	}
+	return &in, nil
+}
+
+// NewContextFromInterfaces indexes per-file summaries for compilation,
+// exactly as NewContext indexes whole files. The summaries may arrive in
+// any order; they are processed sorted by source name so duplicate
+// detection reports deterministically.
+func NewContextFromInterfaces(ifaces ...*Interface) (*Context, error) {
+	sorted := append([]*Interface(nil), ifaces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Source < sorted[j].Source })
+	ctx := &Context{
+		structDefs: map[string]*csub.StructDef{},
+		structs:    map[string]*ir.StructType{},
+		defines:    map[string]int64{},
+		fns:        map[string]bool{},
+		globals:    map[string]bool{},
+	}
+	for _, in := range sorted {
+		if err := ctx.addInterface(in); err != nil {
+			return nil, err
+		}
+	}
+	return ctx, nil
+}
+
+func (c *Context) addInterface(in *Interface) error {
+	for _, s := range in.Structs {
+		if _, dup := c.structDefs[s.Name]; dup {
+			return fmt.Errorf("compiler: struct %s defined twice", s.Name)
+		}
+		c.structDefs[s.Name] = s
+		st := &ir.StructType{Name: s.Name}
+		for i, fd := range s.Fields {
+			st.Fields = append(st.Fields, ir.Field{Name: fd.Name, Offset: i})
+		}
+		c.structs[s.Name] = st
+	}
+	for k, v := range in.Defines {
+		c.defines[k] = v
+	}
+	for _, fn := range in.Fns {
+		if c.fns[fn] {
+			return fmt.Errorf("compiler: function %s defined twice", fn)
+		}
+		c.fns[fn] = true
+	}
+	for _, g := range in.Globals {
+		c.globals[g] = true
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package manifest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tesla/internal/spec"
+)
+
+// combinedPin is the sha256 of the encoded manifest produced by combining
+// the three fragments below, in ANY order. The build cache keys automata
+// and instrumentation artifacts on these bytes, so this hash may only
+// change with a deliberate manifest-format change (bump keyVersion in
+// internal/build when it does).
+const combinedPin = "f05d63eae5e72181da7b76f0b4f6963e838450d13ea6e34ec724eba6f04c89c5"
+
+func fragments() []*File {
+	return []*File{
+		FromAssertions("net/socket.c", []*spec.Assertion{
+			spec.SyscallPreviously("net/socket.c:12",
+				spec.Call("mac_socket_check_poll", spec.AnyPtr(), spec.Var("so")).ReturnsInt(0)),
+		}),
+		FromAssertions("kern/audit.c", []*spec.Assertion{
+			spec.Within("kern/audit.c:40", "trap_pfault",
+				spec.Eventually(spec.Call("audit", spec.Var("vp")))),
+			spec.SyscallPreviously("kern/audit.c:77",
+				spec.Call("priv_check").ReturnsInt(0)),
+		}),
+		FromAssertions("vm/fault.c", nil),
+	}
+}
+
+func encoded(t *testing.T, f *File) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := f.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestCombineOrderInsensitive: combining the same per-file fragments in any
+// argument order yields a byte-identical program manifest, pinned by hash.
+// This is what lets the build graph cache-hit the combine stage no matter
+// which order the analyse stages finished in.
+func TestCombineOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var want string
+	for trial := 0; trial < 20; trial++ {
+		frags := fragments()
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		combined, err := Combine(frags...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := encoded(t, combined)
+		if trial == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("trial %d: combine is order-sensitive:\n%s\n---\n%s", trial, want, got)
+		}
+	}
+	sum := sha256.Sum256([]byte(want))
+	if got := hex.EncodeToString(sum[:]); got != combinedPin {
+		t.Errorf("combined manifest hash = %s, want pinned %s\n(encoding change? bump keyVersion in internal/build and repin)", got, combinedPin)
+	}
+	// Entries must be grouped by source name order, not argument order.
+	combined, _ := Combine(fragments()...)
+	var names []string
+	for _, e := range combined.Assertions {
+		names = append(names, e.Name)
+	}
+	want2 := "kern/audit.c:40,kern/audit.c:77,net/socket.c:12"
+	if got := strings.Join(names, ","); got != want2 {
+		t.Errorf("entry order %s, want %s", got, want2)
+	}
+}

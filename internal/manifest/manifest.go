@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"tesla/internal/automata"
 	"tesla/internal/spec"
@@ -79,10 +80,18 @@ func (f *File) Compile() ([]*automata.Automaton, error) {
 // in any file can name events defined in any other file, so instrumentation
 // always works from the combined manifest (§4.1) — which is also why
 // changing one file's assertions re-instruments every module (§5.1).
+//
+// The inputs are merged in source-name order regardless of argument order:
+// the combined manifest's entry order fixes the automata indices compiled
+// into instrumented code, and the build cache keys artifacts by the
+// manifest's bytes, so combining the same fragments must always produce
+// byte-identical output.
 func Combine(files ...*File) (*File, error) {
+	ordered := append([]*File(nil), files...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Source < ordered[j].Source })
 	out := &File{}
 	seen := map[string]bool{}
-	for _, f := range files {
+	for _, f := range ordered {
 		for _, e := range f.Assertions {
 			if seen[e.Name] {
 				return nil, fmt.Errorf("manifest: duplicate assertion %q", e.Name)

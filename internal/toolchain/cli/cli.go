@@ -1,0 +1,104 @@
+// Package cli factors out the flag/driver boilerplate shared by the
+// cmd/tesla-* tools: positional-argument handling, source loading,
+// multi-error reporting with the tool name prefixed on every line, and
+// the build-graph flags (-j, -cache, -explain) shared by tesla-run and
+// tesla-build.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesla/internal/toolchain"
+)
+
+// Tool is one command-line tool's identity: its name (the diagnostic
+// prefix) and its usage line.
+type Tool struct {
+	Name  string
+	Usage string
+}
+
+// New returns the driver helper for the named tool. usage is the
+// argument synopsis printed after the tool name, e.g.
+// "[-entry main] file.c...".
+func New(name, usage string) *Tool { return &Tool{Name: name, Usage: usage} }
+
+// ParseSourceArgs parses the command line and requires at least one
+// positional argument (the source files); otherwise it prints the usage
+// line and exits 2.
+func (t *Tool) ParseSourceArgs() []string {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s %s\n", t.Name, t.Usage)
+		os.Exit(2)
+	}
+	return flag.Args()
+}
+
+// LoadSources reads the named files into the name → text map the
+// toolchain consumes, fataling on the first unreadable path.
+func (t *Tool) LoadSources(paths []string) map[string]string {
+	sources := make(map[string]string, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[path] = string(data)
+	}
+	return sources
+}
+
+// Fatal prints err prefixed with the tool name — one line per underlying
+// error for multi-error values like build.ErrorList — and exits 1.
+func (t *Tool) Fatal(err error) { t.FatalCode(1, err) }
+
+// FatalCode is Fatal with an explicit exit status (tesla-check exits 2
+// on compilation errors to distinguish them from failing assertions).
+func (t *Tool) FatalCode(code int, err error) {
+	for _, e := range Errors(err) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, e)
+	}
+	os.Exit(code)
+}
+
+// Errors flattens a multi-error (anything with Unwrap() []error, such as
+// the build graph's ErrorList) into its parts so each diagnostic gets its
+// own prefixed line; a plain error is returned alone.
+func Errors(err error) []error {
+	if multi, ok := err.(interface{ Unwrap() []error }); ok {
+		if errs := multi.Unwrap(); len(errs) > 0 {
+			return errs
+		}
+	}
+	return []error{err}
+}
+
+// BuildFlags holds the registered build-graph flag values.
+type BuildFlags struct {
+	Jobs     *int
+	CacheDir *string
+	Explain  *bool
+}
+
+// RegisterBuildFlags registers -j, -cache and -explain on the default
+// flag set. Call before flag.Parse.
+func RegisterBuildFlags() *BuildFlags {
+	return &BuildFlags{
+		Jobs:     flag.Int("j", 0, "build-graph worker count (0 = GOMAXPROCS)"),
+		CacheDir: flag.String("cache", "", "on-disk artifact cache directory (persists across runs)"),
+		Explain:  flag.Bool("explain", false, "print the per-node cache hit/miss/rebuild report to stderr"),
+	}
+}
+
+// Apply maps the parsed flag values onto the build options (-explain
+// reports to stderr so it composes with -o/-dump on stdout).
+func (f *BuildFlags) Apply(opts *toolchain.BuildOptions) {
+	opts.Jobs = *f.Jobs
+	opts.CacheDir = *f.CacheDir
+	if *f.Explain {
+		opts.Explain = os.Stderr
+	}
+}

@@ -6,13 +6,22 @@
 // manifest, per-file instrumentation against the combined manifest (the
 // one-to-many property behind the incremental-rebuild costs of §5.1),
 // post-instrumentation optimisation, then linking.
+//
+// Since the build-graph refactor the package is a thin compatibility shim:
+// BuildProgram and BuildProgramOpts execute the content-hash-cached
+// parallel graph in internal/build, while BuildSequential keeps the
+// original strictly sequential pipeline as the reference implementation
+// the graph is differentially tested against (outputs must be
+// byte-identical).
 package toolchain
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"tesla/internal/automata"
+	"tesla/internal/build"
 	"tesla/internal/compiler"
 	"tesla/internal/csub"
 	"tesla/internal/instrument"
@@ -25,7 +34,9 @@ import (
 
 // Build is the result of compiling a program with (or without) TESLA.
 type Build struct {
-	// Files are the parsed sources in deterministic (name) order.
+	// Files are the parsed sources in deterministic (name) order. Graph
+	// builds only parse files that miss the artifact cache, so entries
+	// may be nil for fully cached files.
 	Files []*csub.File
 	// Units are the per-file compilation results, aligned with Files.
 	Units []*compiler.Unit
@@ -42,6 +53,9 @@ type Build struct {
 	// Report is the static checker's verdict set, when the build ran with
 	// BuildOptions.Check (nil otherwise).
 	Report *staticcheck.Report
+	// Graph is the build graph's execution report (nil for
+	// BuildSequential builds): per-node hit/miss/rebuild statuses.
+	Graph *build.Result
 }
 
 // BuildOptions selects pipeline stages beyond the plain compile.
@@ -58,6 +72,18 @@ type BuildOptions struct {
 	Elide bool
 	// Entry is the program entry point for the checker; "" means main.
 	Entry string
+
+	// Jobs bounds the build graph's worker pool; <= 0 means GOMAXPROCS.
+	Jobs int
+	// CacheDir enables the on-disk artifact cache, shared across builds
+	// and processes. "" builds with a fresh in-memory cache.
+	CacheDir string
+	// Cache supplies an existing cache (e.g. to share memory artifacts
+	// across builds in one process); overrides CacheDir.
+	Cache *build.Cache
+	// Explain, when non-nil, receives the per-node hit/miss/rebuild
+	// report after the build (even a failed one).
+	Explain io.Writer
 }
 
 // BuildProgram runs the full pipeline over the sources (name → text).
@@ -67,8 +93,48 @@ func BuildProgram(sources map[string]string, instrumented bool) (*Build, error) 
 	return BuildProgramOpts(sources, BuildOptions{Instrument: instrumented})
 }
 
-// BuildProgramOpts is BuildProgram with stage selection.
+// BuildProgramOpts is BuildProgram with stage selection. It executes the
+// internal/build graph; outputs are byte-identical to BuildSequential's.
 func BuildProgramOpts(sources map[string]string, opts BuildOptions) (*Build, error) {
+	cache := opts.Cache
+	if cache == nil && opts.CacheDir != "" {
+		var err error
+		cache, err = build.Open(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := build.Run(sources, build.Options{
+		Instrument: opts.Instrument,
+		Check:      opts.Check,
+		Elide:      opts.Elide,
+		Entry:      opts.Entry,
+		Jobs:       opts.Jobs,
+		Cache:      cache,
+	})
+	if res != nil && opts.Explain != nil {
+		res.Explain(opts.Explain)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Build{
+		Files:    res.Files,
+		Units:    res.Units,
+		Manifest: res.Manifest,
+		Autos:    res.Autos,
+		Program:  res.Program,
+		Stats:    res.Stats,
+		Report:   res.Report,
+		Graph:    res,
+	}, nil
+}
+
+// BuildSequential is the original single-threaded, cache-free pipeline,
+// kept as the executable specification of what a build produces. The
+// differential tests in internal/build assert that the graph's manifest,
+// automata and linked program are byte-identical to this function's.
+func BuildSequential(sources map[string]string, opts BuildOptions) (*Build, error) {
 	b := &Build{}
 
 	names := make([]string, 0, len(sources))
