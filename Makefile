@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults
 
-ci: fmt vet build test race check cache-gate fuzz-smoke bench-compare
+ci: fmt vet build test race check cache-gate chaos-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -58,6 +58,23 @@ cache-gate: build
 		{ echo "cache-gate: warm build rebuilt nodes"; exit 1; }
 	cmp $(CACHEGATE)/a.ir $(CACHEGATE)/b.ir
 	@echo "cache-gate: warm build fully cached, IR byte-identical"
+
+# Fault-injection gate: the chaos property suite (deterministic seeded
+# injector, fixed seed matrix baked into the tests) under the race detector.
+# Covers reference-vs-sharded parity under injected allocation failures at
+# 1%/10%/50%, cross-class quarantine isolation, exact suppression and
+# handler-panic accounting, and concurrent no-deadlock/no-corruption
+# invariants — plus the injector's own determinism tests and the monitor's
+# supervision passthrough.
+chaos-gate:
+	$(GO) test -race -count=1 ./internal/faultinject
+	$(GO) test -race -count=1 ./internal/core -run 'TestChaos'
+	$(GO) test -race -count=1 ./internal/monitor -run 'TestSupervision|TestHealth'
+
+# Supervision-policy cost ladder on the sharded store (drop-new vs
+# evict-oldest vs quarantine vs injected faults); target <3% per rung.
+bench-faults:
+	$(GO) run ./cmd/tesla-bench -fig faults
 
 # Short fuzz pass over the binary/JSON trace codec and the csub front end
 # ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail

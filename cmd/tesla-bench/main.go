@@ -7,7 +7,7 @@
 //
 //	tesla-bench -all
 //	tesla-bench -table 1
-//	tesla-bench -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild
+//	tesla-bench -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild|faults
 package main
 
 import (
@@ -21,13 +21,13 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run everything")
 	table := flag.String("table", "", "regenerate a table (1)")
-	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elision, trace, shard, rebuild)")
+	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elision, trace, shard, rebuild, faults)")
 	iters := flag.Int("iters", 2000, "iterations per measurement")
 	files := flag.Int("files", 24, "files in the figure 10 synthetic codebase")
 	flag.Parse()
 
 	if !*all && *table == "" && *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: tesla-bench -all | -table 1 | -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild")
+		fmt.Fprintln(os.Stderr, "usage: tesla-bench -all | -table 1 | -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild|faults")
 		os.Exit(2)
 	}
 
@@ -79,5 +79,8 @@ func main() {
 	}
 	if want("rebuild") {
 		run("rebuild", func() error { return bench.FigRebuild(w, *files, 6) })
+	}
+	if want("faults") {
+		run("faults", func() error { return bench.FigFaults(w, *iters) })
 	}
 }

@@ -11,7 +11,15 @@
 // Usage:
 //
 //	tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-entry main]
-//	          [-j N] [-cache dir] [-explain] [-arg N]... file.c...
+//	          [-j N] [-cache dir] [-explain] [-health] [-failure mode]
+//	          [-overflow policy] [-quarantine-after K] [-rearm N]
+//	          [-arg N]... file.c...
+//
+// Exit status distinguishes the three failure layers: 1 for assertion
+// violations (the monitored program is wrong), 2 for build/usage errors (the
+// input is wrong), 3 for monitor-internal degradation on an otherwise clean
+// run (the monitor itself hit overflow, quarantine, suppression or handler
+// faults — its verdict is incomplete and must not be trusted as a pass).
 package main
 
 import (
@@ -29,7 +37,7 @@ import (
 
 func main() {
 	tool := cli.New("tesla-run",
-		"[-plain] [-failstop] [-debug] [-trace out.tr] [-j N] [-cache dir] [-explain] [-arg N]... file.c...")
+		"[-plain] [-failstop] [-debug] [-trace out.tr] [-j N] [-cache dir] [-explain] [-health] [-failure mode] [-overflow policy] [-arg N]... file.c...")
 	plain := flag.Bool("plain", false, "run without instrumentation (Default build)")
 	failstop := flag.Bool("failstop", false, "abort on the first violation")
 	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
@@ -37,16 +45,30 @@ func main() {
 	traceCap := flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
 	entry := flag.String("entry", "main", "entry function")
 	shards := flag.Int("shards", 0, "global-store lock stripes (0 = GOMAXPROCS, 1 = single-mutex reference store)")
+	health := flag.Bool("health", false, "print the per-class monitor health report to stderr after the run")
+	failureMode := flag.String("failure", "default", "violation action: default, report, stop or callback")
+	overflow := flag.String("overflow", "default", "instance-table overflow policy: default, drop-new, evict-oldest or quarantine")
+	quarAfter := flag.Int("quarantine-after", 0, "consecutive overflows before a class is quarantined (0 = default)")
+	rearm := flag.Int("rearm", 0, "suppressed events before a quarantined class re-arms (0 = default)")
 	buildFlags := cli.RegisterBuildFlags()
 	var args intList
 	flag.Var(&args, "arg", "integer argument to the entry function (repeatable)")
 	sources := tool.LoadSources(tool.ParseSourceArgs())
 
+	failure, err := core.ParseFailureAction(*failureMode)
+	if err != nil {
+		tool.FatalCode(2, err)
+	}
+	overflowPol, err := core.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		tool.FatalCode(2, err)
+	}
+
 	opts := toolchain.BuildOptions{Instrument: !*plain}
 	buildFlags.Apply(&opts)
 	build, err := toolchain.BuildProgramOpts(sources, opts)
 	if err != nil {
-		tool.Fatal(err)
+		tool.FatalCode(2, err)
 	}
 
 	counting := core.NewCountingHandler()
@@ -54,7 +76,14 @@ func main() {
 	if *debug {
 		handler = append(handler, &core.PrintHandler{W: os.Stderr})
 	}
-	monOpts := monitor.Options{FailFast: *failstop, GlobalShards: *shards}
+	monOpts := monitor.Options{
+		FailFast:        *failstop,
+		GlobalShards:    *shards,
+		Failure:         failure,
+		Overflow:        overflowPol,
+		QuarantineAfter: *quarAfter,
+		RearmEvents:     *rearm,
+	}
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		rec = trace.NewRecorder(build.Autos, *traceCap)
@@ -64,7 +93,7 @@ func main() {
 	monOpts.Handler = handler
 	rt, err := build.NewRuntime(monOpts)
 	if err != nil {
-		tool.Fatal(err)
+		tool.FatalCode(2, err)
 	}
 	rt.VM.Out = os.Stdout
 
@@ -73,6 +102,9 @@ func main() {
 	// trace is exactly what shrinking wants.
 	if rec != nil {
 		saveTrace(tool, rec, *tracePath)
+	}
+	if *health {
+		printHealth(rt.Monitor)
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "tesla-run: execution aborted: %v\n", runErr)
@@ -84,8 +116,47 @@ func main() {
 	if exitViolations(counting) {
 		os.Exit(1)
 	}
+	// A clean verdict from a degraded monitor is not a clean verdict: if
+	// any class overflowed, suppressed events, quarantined or lost handler
+	// notifications, report it and exit 3 so scripts can tell "held" from
+	// "couldn't watch".
+	if degradedClasses(rt.Monitor) {
+		if !*health { // -health already printed the table above
+			printHealth(rt.Monitor)
+		}
+		fmt.Fprintln(os.Stderr, "tesla-run: DEGRADED: monitor lost coverage; verdict incomplete")
+		os.Exit(3)
+	}
 	if !*plain {
 		fmt.Printf("all %d assertions held\n", len(build.Autos))
+	}
+}
+
+// degradedClasses reports whether any class's health counters show lost
+// coverage. A nil monitor (plain build) is never degraded.
+func degradedClasses(m *monitor.Monitor) bool {
+	return m != nil && m.Degraded()
+}
+
+// printHealth writes the per-class health table to stderr.
+func printHealth(m *monitor.Monitor) {
+	if m == nil {
+		fmt.Fprintln(os.Stderr, "tesla-run: health: no monitor (plain build)")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "tesla-run: health:")
+	for _, ch := range m.Health() {
+		state := "ok"
+		switch {
+		case ch.Quarantined:
+			state = "QUARANTINED"
+		case ch.Degraded():
+			state = "degraded"
+		}
+		fmt.Fprintf(os.Stderr,
+			"  %-24s %-11s live=%d violations=%d overflows=%d evictions=%d suppressed=%d quarantines=%d handler-panics=%d\n",
+			ch.Class, state, ch.Live, ch.Violations, ch.Overflows, ch.Evictions,
+			ch.Suppressed, ch.Quarantines, ch.HandlerPanics)
 	}
 }
 

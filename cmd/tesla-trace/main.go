@@ -7,14 +7,21 @@
 // Usage:
 //
 //	tesla-trace show trace.tr
-//	tesla-trace replay trace.tr file.c...
-//	tesla-trace shrink [-o min.tr] [-json] trace.tr file.c...
+//	tesla-trace replay [-overflow policy] trace.tr file.c...
+//	tesla-trace shrink [-o min.tr] [-json] [-overflow policy] trace.tr file.c...
 //	tesla-trace report [-dot] [-class name] trace.tr file.c...
 //	tesla-trace convert [-json] [-o out.tr] trace.tr
 //
 // Subcommands that rebuild automata (replay, shrink, report) need the same
 // csub sources the trace was recorded from; the trace file itself carries
-// the automata names and is refused on mismatch.
+// the automata names and is refused on mismatch. Runs recorded under a
+// non-default overflow policy (`tesla-run -overflow ...`) replay and
+// shrink faithfully only under the same policy: pass the matching
+// -overflow/-quarantine-after/-rearm flags.
+//
+// Exit status mirrors tesla-run: 1 when a replay detects assertion
+// violations, 2 for unusable input (bad usage, unreadable or mismatched
+// traces, source build errors).
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"os"
 
 	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/monitor"
 	"tesla/internal/toolchain"
 	"tesla/internal/trace"
 )
@@ -51,8 +60,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tesla-trace show trace.tr
-  tesla-trace replay trace.tr file.c...
-  tesla-trace shrink [-o min.tr] [-json] trace.tr file.c...
+  tesla-trace replay [-overflow policy] trace.tr file.c...
+  tesla-trace shrink [-o min.tr] [-json] [-overflow policy] trace.tr file.c...
   tesla-trace report [-dot] [-class name] trace.tr file.c...
   tesla-trace convert [-json] [-o out.tr] trace.tr`)
 	os.Exit(2)
@@ -78,17 +87,36 @@ func cmdShow(args []string) {
 	}
 }
 
+// policyFlags registers the supervision-policy flags shared by replay and
+// shrink and returns a resolver. A run recorded under a non-default
+// overflow policy can degrade differently on replay (an instance the live
+// run evicted survives a drop-new replay), so reproducing its verdict
+// means replaying under the same policy tesla-run used.
+func policyFlags(fs *flag.FlagSet) func() monitor.Options {
+	overflow := fs.String("overflow", "default", "overflow policy the run was recorded under (default, drop-new, evict-oldest, quarantine)")
+	quarAfter := fs.Int("quarantine-after", 0, "consecutive overflows before quarantine (0 = default)")
+	rearm := fs.Int("rearm", 0, "suppressed events before a quarantined class re-arms (0 = default)")
+	return func() monitor.Options {
+		pol, err := core.ParseOverflowPolicy(*overflow)
+		if err != nil {
+			fatalCode(2, err)
+		}
+		return monitor.Options{Overflow: pol, QuarantineAfter: *quarAfter, RearmEvents: *rearm}
+	}
+}
+
 func cmdReplay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	opts := policyFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() < 2 {
 		usage()
 	}
 	tr := loadTrace(fs.Arg(0))
 	autos := buildAutos(fs.Args()[1:])
-	res, err := trace.Replay(tr, autos)
+	res, err := trace.ReplayOpts(tr, autos, opts())
 	if err != nil {
-		fatal(err)
+		fatalCode(2, err)
 	}
 	for name, n := range res.Accepts {
 		fmt.Printf("%s: %d acceptance(s)\n", name, n)
@@ -108,15 +136,16 @@ func cmdShrink(args []string) {
 	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
 	out := fs.String("o", "", "write the minimal trace here (default stdout)")
 	asJSON := fs.Bool("json", false, "write the minimal trace as JSON")
+	opts := policyFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() < 2 {
 		usage()
 	}
 	tr := loadTrace(fs.Arg(0))
 	autos := buildAutos(fs.Args()[1:])
-	res, err := trace.Shrink(tr, autos)
+	res, err := trace.ShrinkOpts(tr, autos, opts())
 	if err != nil {
-		fatal(err)
+		fatalCode(2, err)
 	}
 	fmt.Fprintf(os.Stderr, "shrink: %s: kept %d of %d program event(s)\n",
 		res.Target, res.Kept, res.Kept+res.Removed)
@@ -136,7 +165,7 @@ func cmdReport(args []string) {
 	if *dot {
 		g, err := trace.Dot(tr, autos, *class)
 		if err != nil {
-			fatal(err)
+			fatalCode(2, err)
 		}
 		fmt.Print(g)
 		return
@@ -160,12 +189,12 @@ func cmdConvert(args []string) {
 func loadTrace(path string) *trace.Trace {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		fatalCode(2, err)
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fatal(err)
+		fatalCode(2, err)
 	}
 	return tr
 }
@@ -196,18 +225,22 @@ func buildAutos(paths []string) []*automata.Automaton {
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			fatalCode(2, err)
 		}
 		sources[path] = string(data)
 	}
 	build, err := toolchain.BuildProgram(sources, true)
 	if err != nil {
-		fatal(err)
+		fatalCode(2, err)
 	}
 	return build.Autos
 }
 
-func fatal(err error) {
+func fatal(err error) { fatalCode(1, err) }
+
+// fatalCode exits with the given status: 2 marks unusable input (bad trace,
+// bad sources), distinct from 1 (violations found on replay).
+func fatalCode(code int, err error) {
 	fmt.Fprintln(os.Stderr, "tesla-trace:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

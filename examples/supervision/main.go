@@ -1,0 +1,144 @@
+// Command supervision demonstrates the runtime's fault-tolerance layer:
+// what happens when a monitored program creates more automaton instances
+// than the class's preallocated table holds, and how the overflow policies
+// (drop-new, quarantine) and the deterministic fault injector change the
+// verdict and the health report.
+//
+// The same knobs are exposed on the CLI as
+// `tesla-run -overflow quarantine -quarantine-after 2 -health ...`.
+//
+//	go run ./examples/supervision
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tesla/internal/automata"
+	"tesla/internal/core"
+	"tesla/internal/faultinject"
+	"tesla/internal/monitor"
+	"tesla/internal/spec"
+)
+
+func main() {
+	if err := demo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "supervision demo:", err)
+		os.Exit(1)
+	}
+}
+
+// sessions is how many distinct objects one request touches; the class
+// limit below holds only two, so the overload is 3 instances deep.
+const sessions = 5
+
+// newAuto compiles the quickstart property — within a request handler, a
+// security check on the same object must previously have succeeded — and
+// clamps its instance table to 2 slots so a handful of objects overloads it.
+func newAuto() (*automata.Automaton, error) {
+	assertion := spec.Within("supervision", "handle_request",
+		spec.Previously(
+			spec.Call("security_check", spec.AnyPtr(), spec.Var("o"), spec.Var("op")).ReturnsInt(0)))
+	auto, err := automata.Compile(assertion)
+	if err != nil {
+		return nil, err
+	}
+	auto.Class.Limit = 2
+	return auto, nil
+}
+
+// overload drives one request that checks and then uses `sessions` distinct
+// objects, keeping the bound open so the instances stay live and the third
+// object onward finds the table full.
+func overload(th *monitor.Thread) {
+	op := core.Value(4)
+	th.Call("handle_request")
+	for i := 0; i < sessions; i++ {
+		object := core.Value(7001 + i)
+		th.Call("security_check", 1, object, op)
+		th.Return("security_check", 0, 1, object, op)
+		th.Site("supervision", object, op)
+	}
+	th.Return("handle_request", 0)
+}
+
+func demo(w io.Writer) error {
+	// Part 1: the default drop-new policy. Overflowing allocations are
+	// dropped, so correctly-checked objects hit the assertion site with no
+	// instance to vouch for them: the verdict degrades to false alarms,
+	// and the health report is what tells you not to trust it (tesla-run
+	// exits 3 in this situation).
+	fmt.Fprintln(w, "== drop-new (default): overflow drops instances, verdict degrades ==")
+	auto, err := newAuto()
+	if err != nil {
+		return err
+	}
+	handler := core.NewCountingHandler()
+	mon := monitor.MustNew(monitor.Options{Handler: handler}, auto)
+	overload(mon.NewThread())
+	fmt.Fprintf(w, "drove %d checked objects through a %d-slot class\n", sessions, auto.Class.Limit)
+	fmt.Fprintf(w, "false alarms: %d violation(s) on a correct program\n", len(handler.Violations()))
+	printHealth(w, mon)
+
+	// Part 2: quarantine. After two consecutive overflows the class takes
+	// itself out of service instead of emitting unreliable verdicts:
+	// further events are suppressed (and counted), and after RearmEvents
+	// suppressed events the class re-arms and monitors again.
+	fmt.Fprintln(w, "== quarantine: the class withdraws rather than guess ==")
+	auto, err = newAuto()
+	if err != nil {
+		return err
+	}
+	handler = core.NewCountingHandler()
+	mon = monitor.MustNew(monitor.Options{
+		Handler:         handler,
+		Overflow:        core.QuarantineClass,
+		QuarantineAfter: 2,
+		RearmEvents:     6,
+	}, auto)
+	overload(mon.NewThread())
+	fmt.Fprintf(w, "false alarms: %d violation(s) — suppressed events raise no verdicts\n",
+		len(handler.Violations()))
+	printHealth(w, mon)
+
+	// Part 3: deterministic fault injection. The injector fails every
+	// second allocation; the health counters account for every forced
+	// failure exactly, which is what the chaos suite asserts at scale.
+	fmt.Fprintln(w, "== fault injection: seeded allocation failures, exactly accounted ==")
+	auto, err = newAuto()
+	if err != nil {
+		return err
+	}
+	auto.Class.Limit = 64 // plenty of room: every overflow below is injected
+	inj := faultinject.New(42)
+	inj.SetEvery(faultinject.SiteAlloc, 2)
+	mon = monitor.MustNew(monitor.Options{
+		AllocFail: func(cls *core.Class) bool {
+			return inj.Should(faultinject.SiteAlloc, cls.Name)
+		},
+	}, auto)
+	overload(mon.NewThread())
+	fmt.Fprintf(w, "injector fired %d time(s); health must show exactly that many overflows\n",
+		inj.TotalFired())
+	printHealth(w, mon)
+	return nil
+}
+
+// printHealth renders the monitor's merged per-class health report, the
+// same data `tesla-run -health` prints.
+func printHealth(w io.Writer, m *monitor.Monitor) {
+	for _, h := range m.Health() {
+		state := "ok"
+		switch {
+		case h.Quarantined:
+			state = "QUARANTINED"
+		case h.Health.Degraded():
+			state = "degraded"
+		}
+		fmt.Fprintf(w, "health %-12s state=%-11s live=%d violations=%d overflows=%d evictions=%d suppressed=%d quarantines=%d handler-panics=%d\n",
+			h.Class, state, h.Live, h.Violations, h.Overflows, h.Evictions,
+			h.Suppressed, h.Quarantines, h.HandlerPanics)
+	}
+	fmt.Fprintln(w)
+}

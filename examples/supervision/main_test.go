@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDemoDegradationStory pins the example's load-bearing claims: drop-new
+// turns overload into counted overflows and false alarms, quarantine
+// replaces the false alarms with counted suppression, and injected
+// allocation failures are accounted for exactly.
+func TestDemoDegradationStory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		// Part 1: overflow degrades the verdict and the health report says so.
+		"false alarms: 4 violation(s) on a correct program",
+		"state=degraded    live=0 violations=4 overflows=4",
+		// Part 2: quarantine suppresses instead of guessing.
+		"false alarms: 1 violation(s)",
+		"state=QUARANTINED",
+		"suppressed=6 quarantines=1",
+		// Part 3: the injector's firings and the overflow counter agree.
+		"injector fired 3 time(s)",
+		"violations=3 overflows=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, out)
+		}
+	}
+
+	// The demo is deterministic: a second run must be byte-identical
+	// (seeded injector, single thread, no wall-clock in the output).
+	var again bytes.Buffer
+	if err := demo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("two runs of the demo differ; supervision demo is not deterministic")
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tesla/internal/faultinject"
+)
+
+// Chaos property suite: the supervision layer under deterministic fault
+// injection (internal/faultinject). The acceptance bar from the issue:
+// with injected allocation failures and handler panics at 1% and 10% rates,
+// the monitor never deadlocks, never corrupts instance state, degrades
+// per-class (no cross-class interference), and health counters exactly
+// account for every suppressed event. `make chaos-gate` runs this file under
+// -race with the fixed seed matrix below.
+
+var chaosSeeds = []int64{1, 7, 42, 1337, 99991}
+
+// chaosPolicies is the degradation matrix one schedule draws from.
+var chaosPolicies = []OverflowPolicy{DropNew, EvictOldest, QuarantineClass}
+
+// healthOf flattens a class's health for comparison (HandlerPanics excluded:
+// it is attributed store-wide at dispatch, not part of store parity).
+func healthOf(s *Store, cls *Class) [5]uint64 {
+	h := s.Health(cls)
+	return [5]uint64{h.Violations, h.Overflows, h.Evictions, h.Suppressed, h.Quarantines}
+}
+
+// runChaosDifferential drives one randomised schedule with injected
+// allocation failures through the reference and sharded stores, asserting
+// after every event that verdicts, live counts, instance sets, notification
+// multisets, quarantine state and health counters all agree. The two stores
+// get two injectors built from the same seed, so they see byte-identical
+// fault schedules.
+func runChaosDifferential(t *testing.T, seed int64, shards int, rate float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pol := chaosPolicies[rng.Intn(len(chaosPolicies))]
+	cls := &Class{
+		Name:   "chaos",
+		States: 8,
+		Limit:  2 + rng.Intn(6),
+		// Small thresholds make quarantine and re-arm reachable inside a
+		// 64-event schedule.
+		Overflow:        pol,
+		QuarantineAfter: 1 + rng.Intn(3),
+		RearmEvents:     1 + rng.Intn(6),
+	}
+	states := uint32(3 + rng.Intn(3))
+
+	injRef := faultinject.New(uint64(seed))
+	injSh := faultinject.New(uint64(seed))
+	injRef.SetRate(faultinject.SiteAlloc, rate)
+	injSh.SetRate(faultinject.SiteAlloc, rate)
+
+	href := &noteHandler{}
+	hsh := &noteHandler{}
+	ref := NewStoreOpts(StoreOpts{
+		Context: Global, Handler: href, Shards: 1,
+		AllocFail: func(c *Class) bool { return injRef.Should(faultinject.SiteAlloc, c.Name) },
+	})
+	sh := NewStoreOpts(StoreOpts{
+		Context: Global, Handler: hsh, Shards: shards,
+		AllocFail: func(c *Class) bool { return injSh.Should(faultinject.SiteAlloc, c.Name) },
+	})
+	failFast := rng.Intn(2) == 0
+	ref.FailFast = failFast
+	sh.FailFast = failFast
+	ref.Register(cls)
+	sh.Register(cls)
+
+	for i, ev := range randSchedule(rng, states, 64) {
+		var errRef, errSh error
+		switch ev.op {
+		case "reset":
+			ref.Reset()
+			sh.Reset()
+		case "resetclass":
+			ref.ResetClass(cls)
+			sh.ResetClass(cls)
+		default:
+			errRef = ref.UpdateState(cls, ev.symbol, ev.flags, ev.key, ev.ts)
+			errSh = sh.UpdateState(cls, ev.symbol, ev.flags, ev.key, ev.ts)
+		}
+		if (errRef == nil) != (errSh == nil) {
+			t.Fatalf("seed %d rate %v event %d (%s %s): verdict diverged: ref=%v sharded=%v",
+				seed, rate, i, ev.symbol, ev.key, errRef, errSh)
+		}
+		if qr, qs := ref.Quarantined(cls), sh.Quarantined(cls); qr != qs {
+			t.Fatalf("seed %d rate %v event %d: quarantine diverged: ref=%v sharded=%v",
+				seed, rate, i, qr, qs)
+		}
+		if lr, ls := ref.LiveCount(cls), sh.LiveCount(cls); lr != ls {
+			t.Fatalf("seed %d rate %v event %d (%s %s): live diverged: ref=%d sharded=%d",
+				seed, rate, i, ev.symbol, ev.key, lr, ls)
+		}
+		if ir, is := instSet(ref, cls), instSet(sh, cls); !reflect.DeepEqual(ir, is) {
+			t.Fatalf("seed %d rate %v event %d: instances diverged:\nref:     %v\nsharded: %v",
+				seed, rate, i, ir, is)
+		}
+		if hr, hs := healthOf(ref, cls), healthOf(sh, cls); hr != hs {
+			t.Fatalf("seed %d rate %v event %d: health diverged:\nref:     %v\nsharded: %v",
+				seed, rate, i, hr, hs)
+		}
+		if nr, ns := href.sorted(), hsh.sorted(); !reflect.DeepEqual(nr, ns) {
+			t.Fatalf("seed %d rate %v event %d: notifications diverged:\nref:     %v\nsharded: %v",
+				seed, rate, i, nr, ns)
+		}
+	}
+	if fr, fs := injRef.TotalFired(), injSh.TotalFired(); fr != fs {
+		t.Fatalf("seed %d rate %v: injectors diverged: ref fired %d, sharded %d", seed, rate, fr, fs)
+	}
+}
+
+// TestChaosDifferentialInjected extends the differential harness with the
+// policy matrix and fault-injected allocation failures at the issue's 1% and
+// 10% rates (plus a brutal 50%), across stripe counts.
+func TestChaosDifferentialInjected(t *testing.T) {
+	n := 0
+	for _, rate := range []float64{0.01, 0.10, 0.50} {
+		for i := 0; i < 150; i++ {
+			shards := []int{2, 4, 8, 16}[i%4]
+			runChaosDifferential(t, int64(5000+i), shards, rate)
+			n++
+		}
+	}
+	if n < 400 {
+		t.Fatalf("schedule budget shrank: %d", n)
+	}
+}
+
+// classStream extracts one class's notification subsequence, in order.
+func classStream(h *noteHandler, cls string) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for _, n := range h.notes {
+		if strings.Contains(n, "|"+cls+"|") || strings.HasSuffix(n, "|"+cls) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// runIsolation drives a hot class A (tiny limit, quarantine policy, injected
+// allocation failures) interleaved with a healthy class B through one store
+// and returns B's exact notification stream and verdict sequence.
+func runIsolation(t *testing.T, shards int, inject bool, rate float64) ([]string, string) {
+	t.Helper()
+	a := &Class{Name: "iso-a", States: 4, Limit: 1, Overflow: QuarantineClass, QuarantineAfter: 2, RearmEvents: 4}
+	b := &Class{Name: "iso-b", States: 4, Limit: 8}
+
+	inj := faultinject.New(2026)
+	inj.SetRate(faultinject.SiteAlloc, rate)
+	h := &noteHandler{}
+	s := NewStoreOpts(StoreOpts{
+		Context: Global, Handler: h, Shards: shards,
+		AllocFail: func(c *Class) bool {
+			if !inject || c.Name != "iso-a" {
+				return false
+			}
+			return inj.Should(faultinject.SiteAlloc, c.Name)
+		},
+	})
+	s.Register(a)
+	s.Register(b)
+
+	enter := initTS()
+	mid := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 1, KeyMask: 1}}
+	site := TransitionSet{{From: 2, To: 3, KeyMask: 1}}
+
+	var verdicts strings.Builder
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 400; i++ {
+		// Class A: hammer inits so it overflows and quarantines.
+		s.UpdateState(a, "enter", 0, NewKey(Value(rng.Intn(50))), enter)
+		// Class B: a well-behaved workload whose outcomes we fingerprint.
+		k := NewKey(Value(rng.Intn(4)))
+		switch i % 5 {
+		case 0:
+			err := s.UpdateState(b, "enter", 0, k, enter)
+			fmt.Fprintf(&verdicts, "%d:enter:%v\n", i, err)
+		case 3:
+			err := s.UpdateState(b, "site", SymRequired, k, site)
+			fmt.Fprintf(&verdicts, "%d:site:%v\n", i, err)
+		default:
+			err := s.UpdateState(b, "mid", 0, k, mid)
+			fmt.Fprintf(&verdicts, "%d:mid:%v\n", i, err)
+		}
+	}
+	if inject && !s.Quarantined(a) && s.Health(a).Quarantines == 0 {
+		t.Fatal("isolation run never quarantined class A; test lost its teeth")
+	}
+	if hb := s.Health(b); hb.Degraded() {
+		t.Fatalf("class B degraded: %+v", hb)
+	}
+	return classStream(h, "iso-b"), verdicts.String()
+}
+
+// TestChaosCrossClassIsolation: quarantining (and fault-injecting) class A
+// leaves class B's notifications and verdicts byte-identical to an
+// uninjected run, on both store implementations and both issue rates.
+func TestChaosCrossClassIsolation(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, rate := range []float64{0.01, 0.10} {
+			baseNotes, baseVerdicts := runIsolation(t, shards, false, rate)
+			injNotes, injVerdicts := runIsolation(t, shards, true, rate)
+			if injVerdicts != baseVerdicts {
+				t.Fatalf("shards=%d rate=%v: class B verdicts diverged under class-A faults", shards, rate)
+			}
+			if !reflect.DeepEqual(injNotes, baseNotes) {
+				t.Fatalf("shards=%d rate=%v: class B notifications diverged under class-A faults:\nbase: %v\ninj:  %v",
+					shards, rate, baseNotes, injNotes)
+			}
+		}
+	}
+}
+
+// injectedPanicHandler panics on a deterministic injected schedule.
+type injectedPanicHandler struct {
+	NopHandler
+	inj *faultinject.Injector
+}
+
+func (h *injectedPanicHandler) Transition(cls *Class, inst *Instance, from, to uint32, symbol string) {
+	if h.inj.Should(faultinject.SiteHandlerPanic, cls.Name) {
+		panic("injected handler panic")
+	}
+}
+
+// TestChaosHandlerPanicRates: with handler panics injected at 1% and 10%,
+// no panic escapes, every panic is counted, and the store keeps monitoring.
+func TestChaosHandlerPanicRates(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, rate := range []float64{0.01, 0.10} {
+			inj := faultinject.New(77)
+			inj.SetRate(faultinject.SiteHandlerPanic, rate)
+			cls := &Class{Name: "hp", States: 4, Limit: 64}
+			s := NewStoreOpts(StoreOpts{
+				Context: Global, Shards: shards,
+				Handler: &injectedPanicHandler{inj: inj},
+				// Keep the handler in service so every injected panic is
+				// exercised rather than short-circuited by quarantine.
+				HandlerPanicLimit: 1 << 30,
+			})
+			s.Register(cls)
+			mid := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 1, KeyMask: 1}}
+			for i := 0; i < 2000; i++ {
+				k := NewKey(Value(i % 64))
+				s.UpdateState(cls, "enter", 0, k, initTS())
+				s.UpdateState(cls, "mid", 0, k, mid)
+			}
+			if got, want := s.HandlerPanics(), inj.Fired(faultinject.SiteHandlerPanic, "hp"); got != want {
+				t.Fatalf("shards=%d rate=%v: recovered %d panics, injector fired %d", shards, rate, got, want)
+			}
+			if got := s.HandlerPanics(); got == 0 {
+				t.Fatalf("shards=%d rate=%v: no panics injected; test lost its teeth", shards, rate)
+			}
+			if n := s.LiveCount(cls); n != 64 {
+				t.Fatalf("shards=%d rate=%v: live=%d, monitoring degraded by handler faults", shards, rate, n)
+			}
+		}
+	}
+}
+
+// TestChaosConcurrentInvariants hammers a sharded store from several
+// goroutines with every policy active, allocation failures and handler
+// panics injected at 10%, and trace-style re-entrant reads mixed in. The
+// schedule must complete (no deadlock — enforced by a watchdog), leave
+// instance state structurally consistent, and keep -race silent.
+func TestChaosConcurrentInvariants(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		inj := faultinject.New(uint64(seed))
+		inj.SetRate(faultinject.SiteAlloc, 0.10)
+		inj.SetRate(faultinject.SiteHandlerPanic, 0.10)
+
+		classes := []*Class{
+			{Name: "c-drop", States: 8, Limit: 16},
+			{Name: "c-evict", States: 8, Limit: 16, Overflow: EvictOldest},
+			{Name: "c-quar", States: 8, Limit: 16, Overflow: QuarantineClass, QuarantineAfter: 4, RearmEvents: 32},
+		}
+		s := NewStoreOpts(StoreOpts{
+			Context: Global, Shards: 8,
+			Handler:           &injectedPanicHandler{inj: inj},
+			HandlerPanicLimit: 1 << 30,
+			AllocFail:         func(c *Class) bool { return inj.Should(faultinject.SiteAlloc, c.Name) },
+		})
+		for _, c := range classes {
+			s.Register(c)
+		}
+
+		enter := initTS()
+		mid := TransitionSet{{From: 1, To: 2, KeyMask: 1}, {From: 2, To: 1, KeyMask: 3}}
+		exit := TransitionSet{{From: 1, To: 7, Flags: TransCleanup}, {From: 2, To: 7, Flags: TransCleanup}}
+
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)*31 + seed))
+				for i := 0; i < 600; i++ {
+					cls := classes[rng.Intn(len(classes))]
+					switch rng.Intn(12) {
+					case 0:
+						s.UpdateState(cls, "exit", 0, AnyKey, exit)
+					case 1:
+						s.UpdateState(cls, "site", SymRequired, randKey(rng), mid)
+					case 2:
+						_ = s.Instances(cls)
+						_ = s.HealthReport()
+					case 3:
+						s.UpdateState(cls, "enter", 0, AnyKey, enter)
+					default:
+						s.UpdateState(cls, "enter", 0, randKey(rng), enter)
+						s.UpdateState(cls, "mid", 0, randKey(rng), mid)
+					}
+				}
+			}(g)
+		}
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("seed %d: chaos schedule deadlocked", seed)
+		}
+
+		for _, cls := range classes {
+			insts := s.Instances(cls)
+			if len(insts) != s.LiveCount(cls) {
+				t.Fatalf("seed %d %s: LiveCount=%d but %d instances", seed, cls.Name, s.LiveCount(cls), len(insts))
+			}
+			seen := map[Key]bool{}
+			for _, in := range insts {
+				if !in.Active {
+					t.Fatalf("seed %d %s: inactive instance in snapshot", seed, cls.Name)
+				}
+				if seen[in.Key] {
+					t.Fatalf("seed %d %s: duplicate live key %s", seed, cls.Name, in.Key)
+				}
+				seen[in.Key] = true
+			}
+		}
+		if s.HandlerPanics() == 0 {
+			t.Fatalf("seed %d: no handler panics injected; test lost its teeth", seed)
+		}
+		// The store still works after the storm: a fresh class monitors.
+		fresh := &Class{Name: "fresh", States: 3, Limit: 4}
+		s.Register(fresh)
+		s2 := NewStoreOpts(StoreOpts{Context: Global, Shards: 8})
+		s2.Register(fresh)
+		s.ResetClass(fresh)
+		if err := s2.UpdateState(fresh, "enter", 0, NewKey(1), initTS()); err != nil {
+			t.Fatalf("seed %d: post-chaos monitoring broken: %v", seed, err)
+		}
+	}
+}
+
+// TestChaosSuppressionExact: health counters account for every suppressed
+// event exactly. The schedule is built so the quarantine/re-arm trajectory
+// is fully predictable, then asserted event-for-event on both stores.
+func TestChaosSuppressionExact(t *testing.T) {
+	bothStores(t, func(t *testing.T, mk func(o StoreOpts) *Store) {
+		cls := &Class{Name: "sup", States: 3, Limit: 1, Overflow: QuarantineClass, QuarantineAfter: 1, RearmEvents: 10}
+		s := mk(StoreOpts{})
+		s.Register(cls)
+
+		s.UpdateState(cls, "enter", 0, NewKey(1), initTS()) // fills the single slot
+		s.UpdateState(cls, "enter", 0, NewKey(2), initTS()) // overflow → quarantine #1
+		// Drive 25 more inits, each with a fresh key so every processed one
+		// is an allocation attempt. Expected trajectory:
+		//   events  1–10: suppressed            (Suppressed 10)
+		//   event     11: re-arms, alloc OK     (live 1)
+		//   event     12: overflow → quarantine #2
+		//   events 13–22: suppressed            (Suppressed 20)
+		//   event     23: re-arms, alloc OK     (live 1)
+		//   event     24: overflow → quarantine #3
+		//   event     25: suppressed            (Suppressed 21)
+		const driven = 25
+		for i := 0; i < driven; i++ {
+			s.UpdateState(cls, "enter", 0, NewKey(Value(100+i)), initTS())
+		}
+		h := s.Health(cls)
+		if h.Suppressed != 21 {
+			t.Fatalf("Suppressed = %d, want 21 (health %+v)", h.Suppressed, h)
+		}
+		if h.Quarantines != 3 || h.Overflows != 3 {
+			t.Fatalf("Quarantines = %d, Overflows = %d, want 3/3", h.Quarantines, h.Overflows)
+		}
+		// Accounting identity: every driven event is either suppressed or
+		// processed, and every processed event is visible as an overflow or
+		// a successful allocation (the two re-arm events).
+		processed := driven - int(h.Suppressed)
+		if visible := int(h.Overflows-1) + 2; processed != visible {
+			t.Fatalf("processed %d events but only %d visible in health", processed, visible)
+		}
+		if !s.Quarantined(cls) {
+			t.Fatal("class should end quarantined")
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // TransFlags annotate a transition with lifecycle roles (§4.4.1).
 type TransFlags uint8
@@ -103,6 +106,30 @@ type Class struct {
 	// slots so that automaton bookkeeping never allocates in code paths
 	// that cannot (§4.4.1); overflow is reported, not fatal.
 	Limit int
+
+	// Failure selects what a violation of this class does to the program
+	// (§4.4.2's panic/printf/probe spectrum). FailDefault defers to the
+	// store. Set before the class is registered.
+	Failure FailureAction
+
+	// OnViolation is invoked (outside store locks, panic-isolated) for
+	// each violation when the effective failure action is FailCallback.
+	OnViolation func(*Violation)
+
+	// Overflow selects the class's instance-table degradation policy;
+	// OverflowDefault defers to the store (whose default is DropNew).
+	// Set before the class is registered.
+	Overflow OverflowPolicy
+
+	// QuarantineAfter is the consecutive-overflow count that trips
+	// QuarantineClass (0 = store default, then DefaultQuarantineAfter).
+	QuarantineAfter int
+
+	// RearmEvents re-arms a quarantined class after this many suppressed
+	// events (0 = store default). RearmAfter re-arms after a duration;
+	// when both are zero, DefaultRearmEvents applies.
+	RearmEvents int
+	RearmAfter  time.Duration
 }
 
 // DefaultInstanceLimit is used when a Class does not set Limit. The
@@ -126,4 +153,10 @@ type Instance struct {
 	State  uint32
 	Key    Key
 	Active bool
+
+	// birth orders activations class-wide, so both store implementations
+	// agree on which instance EvictOldest sacrifices, and so an event's
+	// pre-snapshotted candidate list can detect a slot that was evicted
+	// and reused mid-event.
+	birth uint64
 }

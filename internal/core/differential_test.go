@@ -56,6 +56,14 @@ func (h *noteHandler) Overflow(cls *Class, key Key) {
 	h.add("overflow|%s|%s", cls.Name, key)
 }
 
+func (h *noteHandler) Evict(cls *Class, inst *Instance) {
+	h.add("evict|%s|%s|%d", cls.Name, inst.Key, inst.State)
+}
+
+func (h *noteHandler) Quarantine(cls *Class, on bool) {
+	h.add("quarantine|%s|%v", cls.Name, on)
+}
+
 // sorted returns the notification multiset in canonical order.
 func (h *noteHandler) sorted() []string {
 	h.mu.Lock()
@@ -138,8 +146,16 @@ func instSet(s *Store, cls *Class) []string {
 func runDifferential(t *testing.T, seed int64, shards int, failFast bool) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	// Small limits make overflow reachable; vary them per schedule.
-	cls := &Class{Name: "diff", States: 8, Limit: 2 + rng.Intn(8)}
+	// Small limits make overflow reachable; vary them per schedule, along
+	// with the overflow-degradation policy so the whole supervision matrix
+	// rides the same 1300+-schedule sweep (chaos_test.go adds injected
+	// allocation failures on top).
+	cls := &Class{
+		Name: "diff", States: 8, Limit: 2 + rng.Intn(8),
+		Overflow:        []OverflowPolicy{DropNew, EvictOldest, QuarantineClass}[rng.Intn(3)],
+		QuarantineAfter: 1 + rng.Intn(3),
+		RearmEvents:     1 + rng.Intn(8),
+	}
 	states := uint32(3 + rng.Intn(3))
 
 	href := &noteHandler{}
@@ -178,6 +194,12 @@ func runDifferential(t *testing.T, seed int64, shards int, failFast bool) {
 		if ir, is := instSet(ref, cls), instSet(sh, cls); !reflect.DeepEqual(ir, is) {
 			t.Fatalf("seed %d event %d (%s %s): instances diverged:\nref:     %v\nsharded: %v",
 				seed, i, ev.symbol, ev.key, ir, is)
+		}
+		if qr, qs := ref.Quarantined(cls), sh.Quarantined(cls); qr != qs {
+			t.Fatalf("seed %d event %d: quarantine state diverged: ref=%v sharded=%v", seed, i, qr, qs)
+		}
+		if hr, hs := healthOf(ref, cls), healthOf(sh, cls); hr != hs {
+			t.Fatalf("seed %d event %d: health diverged: ref=%v sharded=%v", seed, i, hr, hs)
 		}
 		if nr, ns := href.sorted(), hsh.sorted(); !reflect.DeepEqual(nr, ns) {
 			t.Fatalf("seed %d event %d (%s %s): notification multisets diverged:\nref:     %v\nsharded: %v",

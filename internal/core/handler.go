@@ -12,8 +12,15 @@ import (
 // from §4.4.1 are reported: instance initialisation, clones, updates, errors
 // and finalisation (automaton acceptance).
 //
-// Handlers are invoked with the store's internal lock held (in the global
-// context); they must not call back into the same store.
+// Handlers are invoked after the store has released its internal locks: an
+// event's notifications are buffered during the critical section and
+// dispatched once it ends, so a handler may block or call back into the same
+// store without stalling monitored threads. Instance arguments are snapshot
+// copies taken while the locks were held — the underlying slots may already
+// have been reused by the time the handler runs, so pointers must not be
+// retained. A panicking handler does not kill the program: panics are
+// recovered and counted, and past Store's HandlerPanicLimit the handler is
+// quarantined (see supervise.go).
 type Handler interface {
 	// InstanceNew is called when an «init» transition creates an instance.
 	InstanceNew(cls *Class, inst *Instance)
@@ -28,6 +35,12 @@ type Handler interface {
 	Fail(v *Violation)
 	// Overflow is called when instance creation exceeds the class limit.
 	Overflow(cls *Class, key Key)
+	// Evict is called when the EvictOldest overflow policy sacrifices a
+	// live instance to make room for a new one.
+	Evict(cls *Class, inst *Instance)
+	// Quarantine is called when a class enters (on=true) or leaves
+	// (on=false) quarantine under the QuarantineClass overflow policy.
+	Quarantine(cls *Class, on bool)
 }
 
 // NopHandler discards all notifications. It is the building block for
@@ -40,6 +53,8 @@ func (NopHandler) Transition(*Class, *Instance, uint32, uint32, string) {}
 func (NopHandler) Accept(*Class, *Instance)                             {}
 func (NopHandler) Fail(*Violation)                                      {}
 func (NopHandler) Overflow(*Class, Key)                                 {}
+func (NopHandler) Evict(*Class, *Instance)                              {}
+func (NopHandler) Quarantine(*Class, bool)                              {}
 
 // PrintHandler writes human-readable event traces, the userspace default
 // behaviour (normally directed at stderr, controlled by TESLA_DEBUG).
@@ -69,6 +84,18 @@ func (h *PrintHandler) Fail(v *Violation) {
 
 func (h *PrintHandler) Overflow(cls *Class, key Key) {
 	fmt.Fprintf(h.W, "tesla: %s: instance table overflow at %s\n", cls.Name, key)
+}
+
+func (h *PrintHandler) Evict(cls *Class, inst *Instance) {
+	fmt.Fprintf(h.W, "tesla: %s: evicted oldest instance %s (state %d)\n", cls.Name, inst.Key, inst.State)
+}
+
+func (h *PrintHandler) Quarantine(cls *Class, on bool) {
+	if on {
+		fmt.Fprintf(h.W, "tesla: %s: class quarantined after repeated overflow\n", cls.Name)
+	} else {
+		fmt.Fprintf(h.W, "tesla: %s: class re-armed\n", cls.Name)
+	}
 }
 
 // TransitionEdge identifies one automaton edge for coverage accounting.
@@ -185,5 +212,17 @@ func (m MultiHandler) Fail(v *Violation) {
 func (m MultiHandler) Overflow(cls *Class, key Key) {
 	for _, h := range m {
 		h.Overflow(cls, key)
+	}
+}
+
+func (m MultiHandler) Evict(cls *Class, inst *Instance) {
+	for _, h := range m {
+		h.Evict(cls, inst)
+	}
+}
+
+func (m MultiHandler) Quarantine(cls *Class, on bool) {
+	for _, h := range m {
+		h.Quarantine(cls, on)
 	}
 }

@@ -66,6 +66,38 @@ type shardedClass struct {
 	masks [1 << KeySize]atomic.Int32
 
 	shards []storeShard
+
+	// pol is the class's supervision policy, resolved at registration.
+	pol classPolicy
+	// quarantined mirrors the quarantine bit for the lock-free fast path;
+	// quar holds the mutable quarantine bookkeeping under quarMu.
+	quarantined atomic.Bool
+	quarMu      sync.Mutex
+	quar        quarState
+	// needsFlush defers the physical expunge of a quarantined class:
+	// quarantine entry happens under a partial stripe set, so slots are
+	// cleared later, by the first event that holds every stripe (plan
+	// escalates to allMask while the flag is set). Until then the class is
+	// logically empty: introspection reports no instances.
+	needsFlush atomic.Bool
+	// health is the class's degradation accounting.
+	health shardedHealth
+	// birthClock stamps activations, mirroring the reference store's
+	// counter so EvictOldest picks the same victim in both.
+	birthClock atomic.Uint64
+}
+
+func (sc *shardedClass) healthSnapshot() Health { return sc.health.snapshot() }
+
+// clearQuarantine silently resets quarantine state (Reset/ResetClass and
+// storage replacement). Callers must hold every stripe lock or own the class
+// exclusively, so the deferred flush cannot race the expunge they perform.
+func (sc *shardedClass) clearQuarantine() {
+	sc.quarMu.Lock()
+	sc.quar = quarState{}
+	sc.quarantined.Store(false)
+	sc.needsFlush.Store(false)
+	sc.quarMu.Unlock()
 }
 
 // storeShard is one lock stripe: a mutex and the hash index of the instances
@@ -253,7 +285,7 @@ func (sc *shardedClass) removeIn(sh *storeShard, slot int32) {
 // lock must be held.
 func (sc *shardedClass) activate(slot int32, state uint32, k Key) *Instance {
 	inst := &sc.insts[slot]
-	*inst = Instance{State: state, Key: k, Active: true}
+	*inst = Instance{State: state, Key: k, Active: true, birth: sc.birthClock.Add(1)}
 	sc.insertIn(&sc.shards[sc.shardOf(k)], slot)
 	sc.masks[k.Mask&keyMaskAll].Add(1)
 	sc.live.Add(1)
@@ -296,6 +328,26 @@ func (sc *shardedClass) expungeLocked() {
 // some live instance binds a slot outside the event's mask, forcing the
 // all-stripes fallback.
 func (sc *shardedClass) plan(key Key, ts TransitionSet) (set uint64, scan bool) {
+	// A pending quarantine flush needs exclusive ownership.
+	if sc.needsFlush.Load() {
+		return sc.allMask(), true
+	}
+	// EvictOldest's class-wide victim scan needs every stripe, but only
+	// when this event could actually overflow. One event allocates at most
+	// one clone per pre-event candidate plus one «init» — ≤ live+1 slots —
+	// so with limit-live ≥ live+1 free slots it cannot exhaust the block
+	// and normal planning applies. The headroom argument collapses when a
+	// fault injector is armed (any allocation may fail), so then every
+	// event takes the full set. Concurrent events can still eat the
+	// headroom plan() saw; the allocation path re-checks ownership and
+	// degrades that rare overflow to drop-new rather than scan unowned
+	// stripes.
+	if sc.pol.overflow == EvictOldest {
+		live := int(sc.live.Load())
+		if sc.pol.injected || sc.limit-live < live+1 {
+			return sc.allMask(), true
+		}
+	}
 	set = 1 << uint(sc.shardOf(key))
 	if init := initTransition(ts); init != nil {
 		set |= 1 << uint(sc.shardOf(key.project(init.KeyMask)))
@@ -327,6 +379,7 @@ func (s *Store) registerSharded(cls *Class, storage []Instance) {
 		nt.m[c] = sc
 	}
 	sc := newShardedClass(cls, storage, s.nshards)
+	sc.pol = s.sv.resolve(cls)
 	replaced := false
 	for _, prev := range old.order {
 		if prev.cls == cls {
@@ -351,7 +404,8 @@ func (s *Store) shardedClassOf(cls *Class) *shardedClass {
 // instancesSharded snapshots the live instances of cls in slot order.
 func (s *Store) instancesSharded(cls *Class) []Instance {
 	sc := s.shardedClassOf(cls)
-	if sc == nil {
+	if sc == nil || sc.quarantined.Load() || sc.needsFlush.Load() {
+		// Quarantined (or re-armed but not yet flushed): logically empty.
 		return nil
 	}
 	s.lockShards(sc, sc.allMask())
@@ -366,11 +420,49 @@ func (s *Store) instancesSharded(cls *Class) []Instance {
 	return out
 }
 
+// shardCand is one pre-event live instance in the sharded candidate
+// snapshot; the birth stamp detects slots evicted and reused mid-event.
+type shardCand struct {
+	slot  int32
+	birth uint64
+}
+
 // updateSharded is UpdateState over the lock-striped store. It reproduces
 // the reference implementation's lifecycle exactly (init, clone, update,
-// error, cleanup — §4.4.1); only the locking and lookup machinery differ.
+// error, cleanup — §4.4.1) and its supervision behaviour (overflow policies,
+// quarantine, buffered dispatch); only the locking and lookup machinery
+// differ.
 func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags, key Key, ts TransitionSet) error {
-	h := s.Handler()
+	var nb noteBuf
+	err := s.updateShardedLocked(sc, symbol, flags, key, ts, &nb)
+	s.dispatch(&nb)
+	return err
+}
+
+func (s *Store) updateShardedLocked(sc *shardedClass, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf) error {
+	// Quarantine fast path, before any stripe lock. The re-arm check runs
+	// before suppression so the event that brings the class back is itself
+	// processed normally; the physical expunge stays deferred (needsFlush)
+	// until the stripe locks are held below.
+	if sc.quarantined.Load() {
+		sc.quarMu.Lock()
+		switch {
+		case !sc.quarantined.Load():
+			// Re-armed by a concurrent event; proceed.
+			sc.quarMu.Unlock()
+		case sc.quar.rearmDue(sc.pol, s.sv.now):
+			sc.quar = quarState{}
+			sc.quarantined.Store(false)
+			nb.add(note{kind: noteQuarantine, cls: sc.cls, on: false})
+			sc.quarMu.Unlock()
+		default:
+			sc.quar.suppressed++
+			sc.health.suppressed.Add(1)
+			sc.quarMu.Unlock()
+			return nil
+		}
+	}
+
 	cleanup := ts.HasCleanup()
 
 	// Acquire the planned lock set, then re-plan under the locks: another
@@ -398,12 +490,110 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 	}
 	defer s.unlockShards(sc, set)
 
+	if sc.needsFlush.Load() && set == sc.allMask() {
+		// Deferred quarantine expunge: plan() escalates to every stripe
+		// while the flag is set, so the first event through after re-arm
+		// lands here holding the full set. (A concurrent entry can raise
+		// the flag after our plan — then this event proceeds as if
+		// linearised before the quarantine and the next one flushes.)
+		sc.expungeLocked()
+		sc.needsFlush.Store(false)
+	}
+
 	var firstErr error
+	failStop := sc.pol.failureIn(s) == FailStop
 	fail := func(v *Violation) {
-		h.Fail(v)
-		if firstErr == nil {
+		sc.health.violations.Add(1)
+		nb.add(note{kind: noteFail, cls: sc.cls, v: v})
+		if failStop && firstErr == nil {
 			firstErr = v
 		}
+	}
+
+	// alloc mirrors the reference store's policy-driven allocation helper
+	// (update.go) decision for decision, including when the fault injector
+	// is consulted, so the differential harness sees identical degradation
+	// sequences. Returns the claimed slot or -1 to drop.
+	alloc := func(k Key) int32 {
+		if sc.quarantined.Load() {
+			// Entered quarantine earlier in this same event (or
+			// concurrently); no further allocation.
+			return -1
+		}
+		slot := int32(-1)
+		if s.sv.allocFail == nil || !s.sv.allocFail(sc.cls) {
+			slot = sc.allocSlot()
+		}
+		if slot < 0 {
+			sc.health.overflows.Add(1)
+			nb.add(note{kind: noteOverflow, cls: sc.cls, key: k})
+			switch sc.pol.overflow {
+			case EvictOldest:
+				if set != sc.allMask() {
+					// Concurrent events consumed the free headroom
+					// plan() justified the partial lock set with; the
+					// victim scan would touch unowned stripes. Degrade
+					// this one allocation to drop-new (the overflow is
+					// already counted above). Sequentially this cannot
+					// happen: plan() takes every stripe whenever the
+					// event alone could exhaust the block or an
+					// injector is armed.
+					break
+				}
+				// The full lock set is held, so the class-wide scan and
+				// deactivation are safe. Same victim rule as the
+				// reference store: oldest same-mask instance first, so
+				// the unkeyed parent (oldest by construction) is only
+				// sacrificed when nothing bound like the newcomer lives.
+				victim, anyVictim := int32(-1), int32(-1)
+				for i := range sc.insts {
+					if !sc.insts[i].Active {
+						continue
+					}
+					if anyVictim < 0 || sc.insts[i].birth < sc.insts[anyVictim].birth {
+						anyVictim = int32(i)
+					}
+					if sc.insts[i].Key.Mask == k.Mask && (victim < 0 || sc.insts[i].birth < sc.insts[victim].birth) {
+						victim = int32(i)
+					}
+				}
+				if victim < 0 {
+					victim = anyVictim
+				}
+				if victim >= 0 {
+					ev := sc.insts[victim]
+					sc.deactivate(victim)
+					sc.health.evictions.Add(1)
+					nb.add(note{kind: noteEvict, cls: sc.cls, inst: ev})
+					if s.sv.allocFail == nil || !s.sv.allocFail(sc.cls) {
+						slot = sc.allocSlot()
+					}
+				}
+			case QuarantineClass:
+				sc.quarMu.Lock()
+				sc.quar.streak++
+				if sc.quar.streak >= sc.pol.quarantineAfter {
+					sc.quar.enter(sc.pol, s.sv.now)
+					sc.quarantined.Store(true)
+					sc.needsFlush.Store(true)
+					sc.health.quarantines.Add(1)
+					nb.add(note{kind: noteQuarantine, cls: sc.cls, on: true})
+				}
+				sc.quarMu.Unlock()
+			}
+		}
+		if slot < 0 {
+			if failStop && firstErr == nil {
+				firstErr = ErrOverflow
+			}
+			return -1
+		}
+		if sc.pol.overflow == QuarantineClass {
+			sc.quarMu.Lock()
+			sc.quar.streak = 0
+			sc.quarMu.Unlock()
+		}
+		return slot
 	}
 
 	// Collect the instances live before this event (so clones made below
@@ -411,7 +601,7 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 	// out-of-mask masks live, every compatible instance is a projection
 	// of the key: a handful of O(1) index lookups replaces the reference
 	// store's scan over the whole block.
-	var candBuf [DefaultInstanceLimit]int32
+	var candBuf [DefaultInstanceLimit]shardCand
 	cand := candBuf[:0]
 	if scan {
 		for si := range sc.shards {
@@ -420,7 +610,7 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 					continue
 				}
 				if slot := int32(e - 1); sc.insts[slot].Key.Compatible(key) {
-					cand = append(cand, slot)
+					cand = append(cand, shardCand{slot: slot, birth: sc.insts[slot].birth})
 				}
 			}
 		}
@@ -431,7 +621,7 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 			}
 			k := key.project(m)
 			if slot := sc.findIn(&sc.shards[sc.shardOf(k)], k); slot >= 0 {
-				cand = append(cand, slot)
+				cand = append(cand, shardCand{slot: slot, birth: sc.insts[slot].birth})
 			}
 		}
 	}
@@ -439,14 +629,24 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 	// Insertion sort: candidate lists are short (≤ one per live mask off
 	// the scan path) and sort.Slice would allocate on the monitored path.
 	for i := 1; i < len(cand); i++ {
-		for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+		for j := i; j > 0 && cand[j].slot < cand[j-1].slot; j-- {
 			cand[j], cand[j-1] = cand[j-1], cand[j]
 		}
 	}
 
 	matched := false
-	for _, slot := range cand {
-		inst := &sc.insts[slot]
+	for _, c := range cand {
+		if sc.quarantined.Load() {
+			// The class went out of service mid-event; the reference
+			// store's expunge leaves no candidate to process.
+			break
+		}
+		inst := &sc.insts[c.slot]
+		if !inst.Active || inst.birth != c.birth {
+			// Evicted mid-event (the slot may already hold a new
+			// occupant, which this event must not drive).
+			continue
+		}
 
 		var tr *Transition
 		for j := range ts {
@@ -465,7 +665,7 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 				fail(&Violation{Class: sc.cls, Kind: VerdictIncomplete, Key: inst.Key, State: inst.State, Symbol: symbol})
 			case flags&SymStrict != 0:
 				fail(&Violation{Class: sc.cls, Kind: VerdictBadTransition, Key: inst.Key, State: inst.State, Symbol: symbol})
-				sc.deactivate(slot)
+				sc.deactivate(c.slot)
 			}
 			continue
 		}
@@ -481,50 +681,43 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 				matched = true
 				continue
 			}
-			nslot := sc.allocSlot()
+			// Copy the parent before allocating: eviction may free
+			// and immediately reuse the parent's own slot.
+			parent := *inst
+			nslot := alloc(newKey)
 			if nslot < 0 {
-				h.Overflow(sc.cls, newKey)
-				if s.FailFast && firstErr == nil {
-					firstErr = ErrOverflow
-				}
 				continue
 			}
 			clone := sc.activate(nslot, tr.To, newKey)
-			h.InstanceClone(sc.cls, inst, clone)
-			h.Transition(sc.cls, clone, tr.From, tr.To, symbol)
+			nb.add(note{kind: noteClone, cls: sc.cls, parent: parent, inst: *clone})
+			nb.add(note{kind: noteTransition, cls: sc.cls, inst: *clone, from: tr.From, to: tr.To, symbol: symbol})
 			matched = true
 			if tr.Cleanup() {
-				h.Accept(sc.cls, clone)
+				nb.add(note{kind: noteAccept, cls: sc.cls, inst: *clone})
 			}
 			continue
 		}
 
 		from := inst.State
 		inst.State = tr.To
-		h.Transition(sc.cls, inst, from, tr.To, symbol)
+		nb.add(note{kind: noteTransition, cls: sc.cls, inst: *inst, from: from, to: tr.To, symbol: symbol})
 		matched = true
 		if tr.Cleanup() {
-			h.Accept(sc.cls, inst)
+			nb.add(note{kind: noteAccept, cls: sc.cls, inst: *inst})
 		}
 	}
 
-	if !matched {
+	if !matched && !sc.quarantined.Load() {
 		if init := initTransition(ts); init != nil {
 			initKey := key.project(init.KeyMask)
 			if sc.findIn(&sc.shards[sc.shardOf(initKey)], initKey) < 0 {
-				slot := sc.allocSlot()
-				if slot < 0 {
-					h.Overflow(sc.cls, initKey)
-					if s.FailFast && firstErr == nil {
-						firstErr = ErrOverflow
-					}
-				} else {
+				if slot := alloc(initKey); slot >= 0 {
 					inst := sc.activate(slot, init.To, initKey)
-					h.InstanceNew(sc.cls, inst)
-					h.Transition(sc.cls, inst, init.From, init.To, symbol)
+					nb.add(note{kind: noteNew, cls: sc.cls, inst: *inst})
+					nb.add(note{kind: noteTransition, cls: sc.cls, inst: *inst, from: init.From, to: init.To, symbol: symbol})
 					matched = true
 					if init.Cleanup() {
-						h.Accept(sc.cls, inst)
+						nb.add(note{kind: noteAccept, cls: sc.cls, inst: *inst})
 					}
 				}
 			}
@@ -537,14 +730,11 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 		}
 	}
 
-	if cleanup {
+	if cleanup && !sc.quarantined.Load() {
 		// A cleanup transition resets the class: all instances are
 		// expunged and events are ignored until the next «init».
 		sc.expungeLocked()
 	}
 
-	if s.FailFast {
-		return firstErr
-	}
-	return nil
+	return firstErr
 }

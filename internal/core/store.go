@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Context selects where automata state lives (§3.2). In the thread-local
@@ -42,6 +43,17 @@ type classState struct {
 	// code paths that do not permit it”).
 	insts []Instance
 	live  int
+
+	// pol is the class's supervision policy resolved against the store's
+	// defaults at registration; quar and health are its degradation
+	// state and accounting, all guarded by the store mutex.
+	pol         classPolicy
+	quar        quarState
+	quarantined bool
+	health      Health
+	// birthClock stamps activations so EvictOldest picks the same victim
+	// in both store implementations.
+	birthClock uint64
 }
 
 // StoreOpts configures a Store beyond what NewStore exposes.
@@ -58,6 +70,32 @@ type StoreOpts struct {
 	// harness. Values ≥ 2 select the sharded store with that many
 	// stripes, rounded up to a power of two and capped at 64.
 	Shards int
+
+	// Failure is the store-wide default failure action for classes whose
+	// Class.Failure is FailDefault. Leaving it FailDefault preserves the
+	// legacy behaviour: FailStop when Store.FailFast is set, else
+	// FailReport.
+	Failure FailureAction
+	// Overflow is the store-wide default overflow policy (DropNew when
+	// left OverflowDefault).
+	Overflow OverflowPolicy
+	// QuarantineAfter / RearmEvents / RearmAfter are store-wide defaults
+	// for the QuarantineClass policy knobs (see the Class fields).
+	QuarantineAfter int
+	RearmEvents     int
+	RearmAfter      time.Duration
+	// HandlerPanicLimit quarantines the notification handler after this
+	// many recovered panics (0 = DefaultHandlerPanicLimit).
+	HandlerPanicLimit int
+	// AllocFail, when non-nil, is consulted before every instance-slot
+	// allocation; returning true forces the allocation to fail as if the
+	// class's block were exhausted. It is the fault-injection seam used
+	// by internal/faultinject; it runs under store locks and must not
+	// call back into the store.
+	AllocFail func(cls *Class) bool
+	// Clock overrides the time source for timed quarantine re-arm
+	// (deterministic tests); nil uses time.Now.
+	Clock func() time.Time
 }
 
 // Store manages automata instances for one context. The zero value is not
@@ -77,8 +115,19 @@ type Store struct {
 
 	// FailFast makes UpdateState return the first violation as an error
 	// (fail-stop is TESLA's default, but it is configurable at run time).
-	// Set it before the store is shared between threads.
+	// Set it before the store is shared between threads. Classes whose
+	// Failure is not FailDefault override it individually.
 	FailFast bool
+
+	// sv is the resolved supervision configuration (supervise.go).
+	sv supervision
+	// Handler-isolation state: recovered panic count, quarantine flag,
+	// dropped-notification count, and the per-class panic attribution.
+	hpanics      atomic.Uint64
+	hquar        atomic.Bool
+	notesDropped atomic.Uint64
+	panicMu      sync.Mutex
+	panicBy      map[string]uint64
 }
 
 // handlerCell boxes the handler so it can be swapped atomically: the sharded
@@ -106,6 +155,7 @@ func NewStoreOpts(o StoreOpts) *Store {
 		o.Handler = NopHandler{}
 	}
 	s := &Store{context: o.Context}
+	s.sv.init(o)
 	s.hv.Store(&handlerCell{h: o.Handler})
 	switch {
 	case o.Shards == 1:
@@ -194,6 +244,7 @@ func (s *Store) Register(cls *Class) {
 	cs := &classState{
 		cls:   cls,
 		insts: make([]Instance, cls.limit()),
+		pol:   s.sv.resolve(cls),
 	}
 	s.classes[cls] = cs
 	s.order = append(s.order, cs)
@@ -222,11 +273,17 @@ func (s *Store) RegisterWithStorage(cls *Class, storage []Instance) {
 	s.lock()
 	defer s.unlock()
 	if cs, ok := s.classes[cls]; ok {
+		// Replacing storage resets the class wholesale, like the sharded
+		// store's re-registration: supervision state starts over too.
 		cs.insts = storage
 		cs.live = 0
+		cs.clearQuarantine()
+		cs.health = Health{}
+		cs.birthClock = 0
+		cs.pol = s.sv.resolve(cls)
 		return
 	}
-	cs := &classState{cls: cls, insts: storage}
+	cs := &classState{cls: cls, insts: storage, pol: s.sv.resolve(cls)}
 	s.classes[cls] = cs
 	s.order = append(s.order, cs)
 }
@@ -272,7 +329,7 @@ func (s *Store) Instances(cls *Class) []Instance {
 	s.lock()
 	defer s.unlock()
 	cs := s.classes[cls]
-	if cs == nil {
+	if cs == nil || cs.quarantined {
 		return nil
 	}
 	var out []Instance
@@ -289,7 +346,7 @@ func (s *Store) Instances(cls *Class) []Instance {
 func (s *Store) LiveCount(cls *Class) int {
 	if s.nshards > 0 {
 		sc := s.shardedClassOf(cls)
-		if sc == nil {
+		if sc == nil || sc.quarantined.Load() || sc.needsFlush.Load() {
 			return 0
 		}
 		return int(sc.live.Load())
@@ -297,19 +354,21 @@ func (s *Store) LiveCount(cls *Class) int {
 	s.lock()
 	defer s.unlock()
 	cs := s.classes[cls]
-	if cs == nil {
+	if cs == nil || cs.quarantined {
 		return 0
 	}
 	return cs.live
 }
 
 // Reset expunges all instances of every class, as after a cleanup event.
+// Quarantined classes are silently returned to service.
 func (s *Store) Reset() {
 	if s.nshards > 0 {
 		t := s.stab.Load()
 		for _, sc := range t.order {
 			s.lockShards(sc, sc.allMask())
 			sc.expungeLocked()
+			sc.clearQuarantine()
 			s.unlockShards(sc, sc.allMask())
 		}
 		return
@@ -318,15 +377,17 @@ func (s *Store) Reset() {
 	defer s.unlock()
 	for _, cs := range s.order {
 		cs.expunge()
+		cs.clearQuarantine()
 	}
 }
 
-// ResetClass expunges all instances of one class.
+// ResetClass expunges all instances of one class and lifts any quarantine.
 func (s *Store) ResetClass(cls *Class) {
 	if s.nshards > 0 {
 		if sc := s.shardedClassOf(cls); sc != nil {
 			s.lockShards(sc, sc.allMask())
 			sc.expungeLocked()
+			sc.clearQuarantine()
 			s.unlockShards(sc, sc.allMask())
 		}
 		return
@@ -335,6 +396,7 @@ func (s *Store) ResetClass(cls *Class) {
 	defer s.unlock()
 	if cs := s.classes[cls]; cs != nil {
 		cs.expunge()
+		cs.clearQuarantine()
 	}
 }
 
@@ -343,6 +405,13 @@ func (cs *classState) expunge() {
 		cs.insts[i].Active = false
 	}
 	cs.live = 0
+}
+
+// clearQuarantine silently resets quarantine state (Reset/ResetClass and
+// storage replacement). The store mutex must be held.
+func (cs *classState) clearQuarantine() {
+	cs.quar = quarState{}
+	cs.quarantined = false
 }
 
 // findExact returns the active instance with exactly the given key, or nil.

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the store's supervision layer: the configurable failure-mode
+// spectrum of §4.4, plus the isolation machinery that keeps the *monitored*
+// system alive when the *monitor* misbehaves.
+//
+//   - FailureAction reproduces the paper's panic / printf / DTrace-probe
+//     spectrum (§4.4.2) per automaton class: stop the program, report and
+//     continue, or hand the violation to a user callback.
+//   - OverflowPolicy governs instance-table exhaustion (§4.4.1 prescribes
+//     reporting overflow rather than allocating in constrained paths):
+//     drop the new instance, evict the oldest, or quarantine a class that
+//     keeps overflowing so one hot automaton cannot poison the rest.
+//   - Handler notifications are buffered during the store's critical
+//     section and dispatched after every lock is released, with panics
+//     recovered, counted and — past a limit — the handler quarantined. A
+//     re-entrant or slow handler can therefore no longer stall monitored
+//     threads or kill the program.
+//   - Health counters account for every degradation decision per class, so
+//     a degraded monitor is observable instead of a silent lie.
+
+// FailureAction selects what a violation does to the monitored program,
+// per class (§4.4.2: kernel panic / fail-stop versus best-effort printf or
+// DTrace-probe reporting).
+type FailureAction int
+
+const (
+	// FailDefault defers to the store's default action (which itself
+	// defaults to FailStop when Store.FailFast is set, FailReport
+	// otherwise).
+	FailDefault FailureAction = iota
+	// FailReport notifies the handler and continues: the paper's
+	// best-effort printf/DTrace modes.
+	FailReport
+	// FailStop returns the violation as an error from UpdateState, the
+	// paper's kernel-panic/abort mode; the instrumented program is
+	// expected to stop on it.
+	FailStop
+	// FailCallback notifies the handler and additionally invokes the
+	// class's OnViolation callback (the pluggable-probe mode).
+	FailCallback
+)
+
+func (a FailureAction) String() string {
+	switch a {
+	case FailDefault:
+		return "default"
+	case FailReport:
+		return "report"
+	case FailStop:
+		return "stop"
+	case FailCallback:
+		return "callback"
+	default:
+		return "FailureAction(?)"
+	}
+}
+
+// OverflowPolicy selects how a class degrades when its preallocated
+// instance block is exhausted.
+type OverflowPolicy int
+
+const (
+	// OverflowDefault defers to the store's default policy (DropNew).
+	OverflowDefault OverflowPolicy = iota
+	// DropNew reports the overflow and drops the new instance — the
+	// paper's behaviour: preallocation is adjusted on the next run.
+	DropNew
+	// EvictOldest reports the overflow, evicts the oldest live instance
+	// with the same key mask as the newcomer (falling back to the oldest
+	// overall) and claims its slot. Monitoring stays live for recent
+	// bindings at the cost of forgetting the oldest obligation (accounted
+	// in Health); the same-mask preference keeps unkeyed parent
+	// instances — the clone sources — alive as long as possible.
+	EvictOldest
+	// QuarantineClass drops new instances like DropNew but, after
+	// QuarantineAfter consecutive overflows, takes the whole class out of
+	// service: instances are expunged and events are suppressed (and
+	// counted) until the class re-arms by event count or elapsed time.
+	QuarantineClass
+)
+
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowDefault:
+		return "default"
+	case DropNew:
+		return "drop-new"
+	case EvictOldest:
+		return "evict-oldest"
+	case QuarantineClass:
+		return "quarantine"
+	default:
+		return "OverflowPolicy(?)"
+	}
+}
+
+// ParseFailureAction maps the String spellings back onto actions, for CLI
+// flags.
+func ParseFailureAction(s string) (FailureAction, error) {
+	for _, a := range []FailureAction{FailDefault, FailReport, FailStop, FailCallback} {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return FailDefault, fmt.Errorf("unknown failure action %q (want default, report, stop or callback)", s)
+}
+
+// ParseOverflowPolicy maps the String spellings back onto policies, for CLI
+// flags.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	for _, p := range []OverflowPolicy{OverflowDefault, DropNew, EvictOldest, QuarantineClass} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return OverflowDefault, fmt.Errorf("unknown overflow policy %q (want default, drop-new, evict-oldest or quarantine)", s)
+}
+
+// Defaults for the quarantine policy when the class and store leave them
+// unset.
+const (
+	// DefaultQuarantineAfter is the consecutive-overflow threshold that
+	// trips QuarantineClass.
+	DefaultQuarantineAfter = 8
+	// DefaultRearmEvents is how many suppressed events re-arm a
+	// quarantined class when neither an event count nor a duration is
+	// configured.
+	DefaultRearmEvents = 256
+	// DefaultHandlerPanicLimit is how many recovered handler panics
+	// quarantine the handler.
+	DefaultHandlerPanicLimit = 3
+)
+
+// Health is one class's cumulative degradation accounting in one store.
+// Counters only ever grow; Reset and re-arms do not clear them.
+type Health struct {
+	// Violations is the number of detected assertion violations.
+	Violations uint64
+	// Overflows counts instance allocations that found no free slot
+	// (including those subsequently satisfied by eviction).
+	Overflows uint64
+	// Evictions counts live instances evicted by EvictOldest.
+	Evictions uint64
+	// Suppressed counts events ignored while the class was quarantined.
+	Suppressed uint64
+	// Quarantines counts times the class entered quarantine.
+	Quarantines uint64
+	// HandlerPanics counts recovered handler panics while dispatching
+	// this class's notifications.
+	HandlerPanics uint64
+}
+
+// Degraded reports whether any monitor-side degradation was recorded.
+func (h Health) Degraded() bool {
+	return h.Overflows|h.Evictions|h.Suppressed|h.Quarantines|h.HandlerPanics != 0
+}
+
+func (h *Health) merge(o Health) {
+	h.Violations += o.Violations
+	h.Overflows += o.Overflows
+	h.Evictions += o.Evictions
+	h.Suppressed += o.Suppressed
+	h.Quarantines += o.Quarantines
+	h.HandlerPanics += o.HandlerPanics
+}
+
+// ClassHealth is one class's health snapshot, as reported by a store or
+// merged across stores by the monitor.
+type ClassHealth struct {
+	Class string
+	// Quarantined reports whether the class is currently out of service.
+	Quarantined bool
+	// Live is the class's live-instance count at snapshot time.
+	Live int
+	Health
+}
+
+// supervision is a store's resolved supervision configuration, fixed at
+// construction.
+type supervision struct {
+	failure         FailureAction
+	overflow        OverflowPolicy
+	quarantineAfter int
+	rearmEvents     int
+	rearmAfter      time.Duration
+	panicLimit      int
+	allocFail       func(cls *Class) bool
+	now             func() time.Time
+}
+
+func (sv *supervision) init(o StoreOpts) {
+	sv.failure = o.Failure
+	sv.overflow = o.Overflow
+	sv.quarantineAfter = o.QuarantineAfter
+	sv.rearmEvents = o.RearmEvents
+	sv.rearmAfter = o.RearmAfter
+	sv.panicLimit = o.HandlerPanicLimit
+	if sv.panicLimit <= 0 {
+		sv.panicLimit = DefaultHandlerPanicLimit
+	}
+	sv.allocFail = o.AllocFail
+	sv.now = o.Clock
+	if sv.now == nil {
+		sv.now = time.Now
+	}
+}
+
+// classPolicy is the per-class supervision configuration after resolving
+// class fields against store defaults, cached at registration so the event
+// hot path reads plain fields.
+type classPolicy struct {
+	failure         FailureAction // FailDefault ⇒ consult Store.FailFast
+	overflow        OverflowPolicy
+	quarantineAfter int
+	rearmEvents     int
+	rearmAfter      time.Duration
+	// injected records that the store has a fault injector armed: any
+	// allocation can then fail, so the sharded store's lock planner cannot
+	// use free-headroom reasoning to skip the all-stripes fallback that
+	// EvictOldest's class-wide victim scan needs.
+	injected bool
+}
+
+func (sv *supervision) resolve(cls *Class) classPolicy {
+	p := classPolicy{
+		failure:         cls.Failure,
+		overflow:        cls.Overflow,
+		quarantineAfter: cls.QuarantineAfter,
+		rearmEvents:     cls.RearmEvents,
+		rearmAfter:      cls.RearmAfter,
+		injected:        sv.allocFail != nil,
+	}
+	if p.failure == FailDefault {
+		p.failure = sv.failure
+	}
+	if p.overflow == OverflowDefault {
+		p.overflow = sv.overflow
+	}
+	if p.overflow == OverflowDefault {
+		p.overflow = DropNew
+	}
+	if p.quarantineAfter <= 0 {
+		p.quarantineAfter = sv.quarantineAfter
+	}
+	if p.quarantineAfter <= 0 {
+		p.quarantineAfter = DefaultQuarantineAfter
+	}
+	if p.rearmEvents <= 0 {
+		p.rearmEvents = sv.rearmEvents
+	}
+	if p.rearmAfter <= 0 {
+		p.rearmAfter = sv.rearmAfter
+	}
+	if p.rearmEvents <= 0 && p.rearmAfter <= 0 {
+		p.rearmEvents = DefaultRearmEvents
+	}
+	return p
+}
+
+// failureIn maps FailDefault onto the store's legacy FailFast switch.
+func (p classPolicy) failureIn(s *Store) FailureAction {
+	if p.failure != FailDefault {
+		return p.failure
+	}
+	if s.FailFast {
+		return FailStop
+	}
+	return FailReport
+}
+
+// quarState is the quarantine bookkeeping shared by both store
+// implementations. The reference store mutates it under the store mutex;
+// the sharded store guards it with shardedClass.quarMu and mirrors the
+// quarantined bit into an atomic for the lock-free fast path.
+type quarState struct {
+	// streak counts consecutive overflows since the last successful
+	// allocation, reset or re-arm.
+	streak int
+	// suppressed counts events ignored since quarantine entry (the
+	// event-count re-arm trigger; Health.Suppressed is the cumulative
+	// total).
+	suppressed int
+	// rearmAt is the timed re-arm deadline (zero when not timed).
+	rearmAt time.Time
+}
+
+// rearmDue reports whether a quarantined class should come back.
+func (q *quarState) rearmDue(p classPolicy, now func() time.Time) bool {
+	if p.rearmEvents > 0 && q.suppressed >= p.rearmEvents {
+		return true
+	}
+	if p.rearmAfter > 0 && !now().Before(q.rearmAt) {
+		return true
+	}
+	return false
+}
+
+// enter initialises quarantine state at entry.
+func (q *quarState) enter(p classPolicy, now func() time.Time) {
+	q.streak = 0
+	q.suppressed = 0
+	if p.rearmAfter > 0 {
+		q.rearmAt = now().Add(p.rearmAfter)
+	} else {
+		q.rearmAt = time.Time{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Buffered notification dispatch.
+
+// noteKind tags one buffered handler notification.
+type noteKind uint8
+
+const (
+	noteNew noteKind = iota
+	noteClone
+	noteTransition
+	noteAccept
+	noteFail
+	noteOverflow
+	noteEvict
+	noteQuarantine
+)
+
+// note is one handler notification, captured by value while the store's
+// locks are held and dispatched afterwards. Instances are copied: once the
+// locks are released the originating slots may be reused.
+type note struct {
+	kind   noteKind
+	cls    *Class
+	inst   Instance
+	parent Instance
+	from   uint32
+	to     uint32
+	symbol string
+	v      *Violation
+	key    Key
+	on     bool // noteQuarantine: entering (true) or re-armed (false)
+}
+
+// noteBufSize is the inline capacity of a noteBuf. One event rarely
+// produces more notifications than it has candidate instances, so the
+// common case stays on the stack; pathological events spill to the heap.
+const noteBufSize = 24
+
+// noteBuf accumulates an event's notifications. The zero value is ready.
+type noteBuf struct {
+	arr   [noteBufSize]note
+	n     int
+	spill []note
+}
+
+func (nb *noteBuf) add(n note) {
+	if nb.n < len(nb.arr) {
+		nb.arr[nb.n] = n
+		nb.n++
+		return
+	}
+	nb.spill = append(nb.spill, n)
+}
+
+func (nb *noteBuf) empty() bool { return nb.n == 0 && len(nb.spill) == 0 }
+
+// dispatch delivers the buffered notifications to the store's handler,
+// outside any store lock, recovering panics. Each recovered panic is
+// counted against the note's class; past the store's panic limit the
+// handler is quarantined and later notifications are dropped (counted in
+// NotesDropped). Violation callbacks (FailCallback) run under the same
+// isolation.
+func (s *Store) dispatch(nb *noteBuf) {
+	if nb.empty() {
+		return
+	}
+	h := s.Handler()
+	for i := 0; i < nb.n; i++ {
+		s.deliverNote(h, &nb.arr[i])
+	}
+	for i := range nb.spill {
+		s.deliverNote(h, &nb.spill[i])
+	}
+}
+
+func (s *Store) deliverNote(h Handler, n *note) {
+	if s.hquar.Load() {
+		s.notesDropped.Add(1)
+		return
+	}
+	s.notify(h, n)
+	if n.kind == noteFail && n.cls.OnViolation != nil {
+		pol := s.policyOf(n.cls)
+		if pol.failureIn(s) == FailCallback {
+			s.callback(n.cls, n.v)
+		}
+	}
+}
+
+// notify invokes one handler method under panic isolation.
+func (s *Store) notify(h Handler, n *note) {
+	defer s.recoverHandler(n.cls)
+	switch n.kind {
+	case noteNew:
+		h.InstanceNew(n.cls, &n.inst)
+	case noteClone:
+		h.InstanceClone(n.cls, &n.parent, &n.inst)
+	case noteTransition:
+		h.Transition(n.cls, &n.inst, n.from, n.to, n.symbol)
+	case noteAccept:
+		h.Accept(n.cls, &n.inst)
+	case noteFail:
+		h.Fail(n.v)
+	case noteOverflow:
+		h.Overflow(n.cls, n.key)
+	case noteEvict:
+		h.Evict(n.cls, &n.inst)
+	case noteQuarantine:
+		h.Quarantine(n.cls, n.on)
+	}
+}
+
+// callback invokes a class's OnViolation under the same isolation as
+// handler methods.
+func (s *Store) callback(cls *Class, v *Violation) {
+	defer s.recoverHandler(cls)
+	cls.OnViolation(v)
+}
+
+// recoverHandler absorbs a handler panic: count it store-wide and per
+// class, and quarantine the handler once the limit is reached.
+func (s *Store) recoverHandler(cls *Class) {
+	if r := recover(); r != nil {
+		s.panicMu.Lock()
+		if s.panicBy == nil {
+			s.panicBy = make(map[string]uint64)
+		}
+		s.panicBy[cls.Name]++
+		s.panicMu.Unlock()
+		if int(s.hpanics.Add(1)) >= s.sv.panicLimit {
+			s.hquar.Store(true)
+		}
+	}
+}
+
+// policyOf returns the cached per-class policy (resolving lazily for
+// classes that were registered before supervision existed in a path that
+// bypassed resolution — never on the hot path).
+func (s *Store) policyOf(cls *Class) classPolicy {
+	if s.nshards > 0 {
+		if sc := s.shardedClassOf(cls); sc != nil {
+			return sc.pol
+		}
+	} else {
+		s.mu.Lock()
+		cs, ok := s.classes[cls]
+		s.mu.Unlock()
+		if ok {
+			return cs.pol
+		}
+	}
+	return s.sv.resolve(cls)
+}
+
+// HandlerPanics returns the recovered handler-panic count, store-wide.
+func (s *Store) HandlerPanics() uint64 { return s.hpanics.Load() }
+
+// HandlerQuarantined reports whether the handler has been taken out of
+// service after repeated panics.
+func (s *Store) HandlerQuarantined() bool { return s.hquar.Load() }
+
+// NotesDropped returns the number of notifications dropped because the
+// handler was quarantined.
+func (s *Store) NotesDropped() uint64 { return s.notesDropped.Load() }
+
+// handlerPanicsFor returns the per-class recovered-panic count.
+func (s *Store) handlerPanicsFor(class string) uint64 {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	return s.panicBy[class]
+}
+
+// Health returns the class's degradation accounting in this store. A zero
+// Health is returned for unregistered classes.
+func (s *Store) Health(cls *Class) Health {
+	var h Health
+	if s.nshards > 0 {
+		sc := s.shardedClassOf(cls)
+		if sc == nil {
+			return h
+		}
+		h = sc.healthSnapshot()
+	} else {
+		s.mu.Lock()
+		if cs := s.classes[cls]; cs != nil {
+			h = cs.health
+		}
+		s.mu.Unlock()
+	}
+	h.HandlerPanics = s.handlerPanicsFor(cls.Name)
+	return h
+}
+
+// HealthReport snapshots every registered class's health, in registration
+// order.
+func (s *Store) HealthReport() []ClassHealth {
+	var out []ClassHealth
+	if s.nshards > 0 {
+		t := s.stab.Load()
+		for _, sc := range t.order {
+			ch := ClassHealth{
+				Class:       sc.cls.Name,
+				Quarantined: sc.quarantined.Load(),
+				Health:      sc.healthSnapshot(),
+			}
+			if !ch.Quarantined {
+				ch.Live = int(sc.live.Load())
+			}
+			ch.HandlerPanics = s.handlerPanicsFor(sc.cls.Name)
+			out = append(out, ch)
+		}
+		return out
+	}
+	s.mu.Lock()
+	for _, cs := range s.order {
+		ch := ClassHealth{
+			Class:       cs.cls.Name,
+			Quarantined: cs.quarantined,
+			Health:      cs.health,
+		}
+		if !cs.quarantined {
+			ch.Live = cs.live
+		}
+		out = append(out, ch)
+	}
+	s.mu.Unlock()
+	for i := range out {
+		out[i].HandlerPanics = s.handlerPanicsFor(out[i].Class)
+	}
+	return out
+}
+
+// Quarantined reports whether cls is currently quarantined in this store.
+func (s *Store) Quarantined(cls *Class) bool {
+	if s.nshards > 0 {
+		sc := s.shardedClassOf(cls)
+		return sc != nil && sc.quarantined.Load()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.classes[cls]
+	return cs != nil && cs.quarantined
+}
+
+// shardedHealth is the sharded store's atomic mirror of Health.
+type shardedHealth struct {
+	violations  atomic.Uint64
+	overflows   atomic.Uint64
+	evictions   atomic.Uint64
+	suppressed  atomic.Uint64
+	quarantines atomic.Uint64
+}
+
+func (sh *shardedHealth) snapshot() Health {
+	return Health{
+		Violations:  sh.violations.Load(),
+		Overflows:   sh.overflows.Load(),
+		Evictions:   sh.evictions.Load(),
+		Suppressed:  sh.suppressed.Load(),
+		Quarantines: sh.quarantines.Load(),
+	}
+}

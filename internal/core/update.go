@@ -21,9 +21,15 @@ package core
 // variable bindings the event provides. ts is the set of class transitions
 // this event can drive, assembled statically by the event translator.
 //
-// The returned error is non-nil only when the store is in FailFast mode and
-// a violation or overflow occurred; the store's Handler is notified of every
-// outcome regardless.
+// Handler notifications are buffered during the critical section and
+// dispatched after every lock is released (see supervise.go), so handlers
+// may block, or even call back into the store, without stalling monitored
+// threads.
+//
+// The returned error is non-nil only when the class's effective failure
+// action is FailStop (FailDefault defers to Store.FailFast) and a violation
+// or overflow occurred; the store's Handler is notified of every outcome
+// regardless.
 func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Key, ts TransitionSet) error {
 	if s.nshards > 0 {
 		sc := s.shardedClassOf(cls)
@@ -37,7 +43,23 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 		return s.updateSharded(sc, symbol, flags, key, ts)
 	}
 
-	handler := s.Handler()
+	var nb noteBuf
+	err := s.updateRef(cls, symbol, flags, key, ts, &nb)
+	s.dispatch(&nb)
+	return err
+}
+
+// refCand is one pre-event live instance in the reference store's candidate
+// snapshot. The birth stamp detects a slot that was evicted and reused by
+// this same event: the new occupant must not be driven by it.
+type refCand struct {
+	idx   int
+	birth uint64
+}
+
+// updateRef is the reference (single-mutex) event body. Notifications are
+// accumulated in nb for the caller to dispatch after the lock is released.
+func (s *Store) updateRef(cls *Class, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf) error {
 	s.lock()
 	defer s.unlock()
 
@@ -49,29 +71,122 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 		cs = s.classes[cls]
 	}
 
+	// Quarantine fast path. The re-arm check runs before suppression so
+	// the event that brings the class back is itself processed normally.
+	if cs.quarantined {
+		if cs.quar.rearmDue(cs.pol, s.sv.now) {
+			cs.quarantined = false
+			cs.quar = quarState{}
+			nb.add(note{kind: noteQuarantine, cls: cls, on: false})
+		} else {
+			cs.quar.suppressed++
+			cs.health.Suppressed++
+			return nil
+		}
+	}
+
 	var firstErr error
+	failStop := cs.pol.failureIn(s) == FailStop
 	fail := func(v *Violation) {
-		handler.Fail(v)
-		if firstErr == nil {
+		cs.health.Violations++
+		nb.add(note{kind: noteFail, cls: cls, v: v})
+		if failStop && firstErr == nil {
 			firstErr = v
 		}
+	}
+
+	// alloc claims a slot under the class's overflow policy, consulting
+	// the fault injector first. On overflow it records one Overflow note,
+	// then degrades: DropNew drops, EvictOldest sacrifices the oldest
+	// instance and retries once (the retry consults the injector again; a
+	// second failure drops silently), QuarantineClass counts the streak
+	// and past the threshold takes the class out of service. nil means
+	// the caller must drop the would-be instance.
+	alloc := func(k Key) *Instance {
+		if cs.quarantined {
+			// Entered quarantine earlier in this same event.
+			return nil
+		}
+		var slot *Instance
+		if s.sv.allocFail == nil || !s.sv.allocFail(cls) {
+			slot = cs.alloc()
+		}
+		if slot == nil {
+			cs.health.Overflows++
+			nb.add(note{kind: noteOverflow, cls: cls, key: k})
+			switch cs.pol.overflow {
+			case EvictOldest:
+				// Prefer the oldest victim bound like the incoming
+				// instance: a plain class-wide minimum would sacrifice
+				// the unkeyed parent first (it is the oldest by
+				// construction), killing the clone source for every
+				// later binding in the bound.
+				victim, anyVictim := -1, -1
+				for i := range cs.insts {
+					if !cs.insts[i].Active {
+						continue
+					}
+					if anyVictim < 0 || cs.insts[i].birth < cs.insts[anyVictim].birth {
+						anyVictim = i
+					}
+					if cs.insts[i].Key.Mask == k.Mask && (victim < 0 || cs.insts[i].birth < cs.insts[victim].birth) {
+						victim = i
+					}
+				}
+				if victim < 0 {
+					victim = anyVictim
+				}
+				if victim >= 0 {
+					ev := cs.insts[victim]
+					cs.insts[victim].Active = false
+					cs.live--
+					cs.health.Evictions++
+					nb.add(note{kind: noteEvict, cls: cls, inst: ev})
+					if s.sv.allocFail == nil || !s.sv.allocFail(cls) {
+						slot = cs.alloc()
+					}
+				}
+			case QuarantineClass:
+				cs.quar.streak++
+				if cs.quar.streak >= cs.pol.quarantineAfter {
+					cs.expunge()
+					cs.quarantined = true
+					cs.health.Quarantines++
+					cs.quar.enter(cs.pol, s.sv.now)
+					nb.add(note{kind: noteQuarantine, cls: cls, on: true})
+				}
+			}
+		}
+		if slot == nil {
+			if failStop && firstErr == nil {
+				firstErr = ErrOverflow
+			}
+			return nil
+		}
+		cs.quar.streak = 0
+		return slot
 	}
 
 	cleanup := ts.HasCleanup()
 
 	// Snapshot the instances that were live before this event so that
 	// clones created below are not themselves driven by the same event.
-	var liveIdx [DefaultInstanceLimit]int
-	live := liveIdx[:0]
+	var candArr [DefaultInstanceLimit]refCand
+	live := candArr[:0]
 	for i := range cs.insts {
 		if cs.insts[i].Active {
-			live = append(live, i)
+			live = append(live, refCand{idx: i, birth: cs.insts[i].birth})
 		}
 	}
 
 	matched := false
-	for _, i := range live {
-		inst := &cs.insts[i]
+	for _, c := range live {
+		inst := &cs.insts[c.idx]
+		if !inst.Active || inst.birth != c.birth {
+			// Evicted or expunged mid-event (the slot may already
+			// hold a new occupant, which this event must not drive).
+			continue
+		}
 		if !inst.Key.Compatible(key) {
 			continue
 		}
@@ -109,52 +224,47 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 				matched = true
 				continue
 			}
-			clone := cs.alloc()
+			// Copy the parent before allocating: eviction may free
+			// and immediately reuse the parent's own slot.
+			parent := *inst
+			clone := alloc(newKey)
 			if clone == nil {
-				handler.Overflow(cls, newKey)
-				if s.FailFast && firstErr == nil {
-					firstErr = ErrOverflow
-				}
 				continue
 			}
-			*clone = Instance{State: tr.To, Key: newKey, Active: true}
+			cs.birthClock++
+			*clone = Instance{State: tr.To, Key: newKey, Active: true, birth: cs.birthClock}
 			cs.commit()
-			handler.InstanceClone(cls, inst, clone)
-			handler.Transition(cls, clone, tr.From, tr.To, symbol)
+			nb.add(note{kind: noteClone, cls: cls, parent: parent, inst: *clone})
+			nb.add(note{kind: noteTransition, cls: cls, inst: *clone, from: tr.From, to: tr.To, symbol: symbol})
 			matched = true
 			if tr.Cleanup() {
-				handler.Accept(cls, clone)
+				nb.add(note{kind: noteAccept, cls: cls, inst: *clone})
 			}
 			continue
 		}
 
 		from := inst.State
 		inst.State = tr.To
-		handler.Transition(cls, inst, from, tr.To, symbol)
+		nb.add(note{kind: noteTransition, cls: cls, inst: *inst, from: from, to: tr.To, symbol: symbol})
 		matched = true
 		if tr.Cleanup() {
-			handler.Accept(cls, inst)
+			nb.add(note{kind: noteAccept, cls: cls, inst: *inst})
 		}
 	}
 
-	if !matched {
+	if !matched && !cs.quarantined {
 		if init := initTransition(ts); init != nil {
 			initKey := key.project(init.KeyMask)
 			if cs.findExact(initKey) == nil {
-				inst := cs.alloc()
-				if inst == nil {
-					handler.Overflow(cls, initKey)
-					if s.FailFast && firstErr == nil {
-						firstErr = ErrOverflow
-					}
-				} else {
-					*inst = Instance{State: init.To, Key: initKey, Active: true}
+				if inst := alloc(initKey); inst != nil {
+					cs.birthClock++
+					*inst = Instance{State: init.To, Key: initKey, Active: true, birth: cs.birthClock}
 					cs.commit()
-					handler.InstanceNew(cls, inst)
-					handler.Transition(cls, inst, init.From, init.To, symbol)
+					nb.add(note{kind: noteNew, cls: cls, inst: *inst})
+					nb.add(note{kind: noteTransition, cls: cls, inst: *inst, from: init.From, to: init.To, symbol: symbol})
 					matched = true
 					if init.Cleanup() {
-						handler.Accept(cls, inst)
+						nb.add(note{kind: noteAccept, cls: cls, inst: *inst})
 					}
 				}
 			}
@@ -169,16 +279,13 @@ func (s *Store) UpdateState(cls *Class, symbol string, flags SymbolFlags, key Ke
 		}
 	}
 
-	if cleanup {
+	if cleanup && !cs.quarantined {
 		// A cleanup transition resets the class: all instances are
 		// expunged and events are ignored until the next «init».
 		cs.expunge()
 	}
 
-	if s.FailFast {
-		return firstErr
-	}
-	return nil
+	return firstErr
 }
 
 // initTransition returns the first init transition in ts, or nil.

@@ -318,6 +318,8 @@ func (overflowCounter) Transition(*Class, *Instance, uint32, uint32, string) {}
 func (overflowCounter) Accept(*Class, *Instance)                             {}
 func (overflowCounter) Fail(*Violation)                                      {}
 func (c overflowCounter) Overflow(*Class, Key)                               { *c.n++ }
+func (overflowCounter) Evict(*Class, *Instance)                              {}
+func (overflowCounter) Quarantine(*Class, bool)                              {}
 
 func TestImplicitRegistration(t *testing.T) {
 	cls := &Class{Name: "implicit", States: 2, Limit: 2}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tesla/internal/automata"
 	"tesla/internal/core"
@@ -34,6 +35,43 @@ type Options struct {
 	// GOMAXPROCS, 1 selects the single-mutex reference store, ≥2 forces a
 	// stripe count. Per-thread stores are unaffected.
 	GlobalShards int
+
+	// Failure is the store-default failure action for classes that leave
+	// Class.Failure at FailDefault (§4.4.2's panic/printf spectrum). The
+	// zero value defers to FailFast: stop when set, report otherwise.
+	Failure core.FailureAction
+	// Overflow is the store-default degradation policy applied when a
+	// class's instance table is full and Class.Overflow is OverflowDefault.
+	Overflow core.OverflowPolicy
+	// QuarantineAfter, RearmEvents and RearmAfter tune QuarantineClass for
+	// classes that don't set their own thresholds (0 = core defaults).
+	QuarantineAfter int
+	RearmEvents     int
+	RearmAfter      time.Duration
+	// HandlerPanicLimit quarantines the Handler after this many recovered
+	// panics (0 = core default).
+	HandlerPanicLimit int
+	// AllocFail, when set, is consulted before every instance allocation
+	// and forces an allocation failure when it returns true — the
+	// fault-injection seam (internal/faultinject). Nil in production.
+	AllocFail func(cls *core.Class) bool
+}
+
+// storeOpts translates the monitor options into core store options for the
+// given context.
+func (o Options) storeOpts(ctx core.Context, shards int) core.StoreOpts {
+	return core.StoreOpts{
+		Context:           ctx,
+		Handler:           o.Handler,
+		Shards:            shards,
+		Failure:           o.Failure,
+		Overflow:          o.Overflow,
+		QuarantineAfter:   o.QuarantineAfter,
+		RearmEvents:       o.RearmEvents,
+		RearmAfter:        o.RearmAfter,
+		HandlerPanicLimit: o.HandlerPanicLimit,
+		AllocFail:         o.AllocFail,
+	}
 }
 
 // symRef locates one symbol of one automaton.
@@ -75,6 +113,11 @@ type Monitor struct {
 
 	// nextThread numbers threads for trace attribution.
 	nextThread atomic.Int32
+
+	// threads tracks every Thread's store so Health can merge per-thread
+	// degradation counters with the global store's.
+	threadsMu sync.Mutex
+	threads   []*Thread
 }
 
 // lazyState is the per-context record of initialisation/cleanup events.
@@ -98,7 +141,7 @@ func newLazyState(bounds, autos int) lazyState {
 func New(opts Options, autos ...*automata.Automaton) (*Monitor, error) {
 	m := &Monitor{
 		opts:      opts,
-		global:    core.NewStoreOpts(core.StoreOpts{Context: core.Global, Handler: opts.Handler, Shards: opts.GlobalShards}),
+		global:    core.NewStoreOpts(opts.storeOpts(core.Global, opts.GlobalShards)),
 		callIdx:   map[string][]symRef{},
 		retIdx:    map[string][]symRef{},
 		msgIdx:    map[string][]symRef{},
@@ -251,7 +294,7 @@ func (m *Monitor) NewThread() *Thread {
 	th := &Thread{
 		m:     m,
 		id:    int(m.nextThread.Add(1)) - 1,
-		store: core.NewStore(core.PerThread, m.opts.Handler),
+		store: core.NewStoreOpts(m.opts.storeOpts(core.PerThread, 1)),
 		lazy:  newLazyState(len(m.boundSlot), len(m.autos)),
 	}
 	th.store.FailFast = m.opts.FailFast
@@ -263,7 +306,61 @@ func (m *Monitor) NewThread() *Thread {
 			th.store.Register(a.Class)
 		}
 	}
+	m.threadsMu.Lock()
+	m.threads = append(m.threads, th)
+	m.threadsMu.Unlock()
 	return th
+}
+
+// Health merges degradation accounting across the global store and every
+// per-thread store: one entry per class name, counters summed, Live totalled,
+// Quarantined set if the class is quarantined in any store. Entries are
+// ordered by first appearance (global first, then threads in creation order).
+func (m *Monitor) Health() []core.ClassHealth {
+	m.threadsMu.Lock()
+	stores := make([]*core.Store, 0, 1+len(m.threads))
+	stores = append(stores, m.global)
+	for _, th := range m.threads {
+		stores = append(stores, th.store)
+	}
+	m.threadsMu.Unlock()
+
+	idx := map[string]int{}
+	var out []core.ClassHealth
+	for _, s := range stores {
+		for _, ch := range s.HealthReport() {
+			i, ok := idx[ch.Class]
+			if !ok {
+				idx[ch.Class] = len(out)
+				out = append(out, ch)
+				continue
+			}
+			out[i].Live += ch.Live
+			out[i].Quarantined = out[i].Quarantined || ch.Quarantined
+			out[i].Health = mergeHealth(out[i].Health, ch.Health)
+		}
+	}
+	return out
+}
+
+// Degraded reports whether any class in any store has degradation counters.
+func (m *Monitor) Degraded() bool {
+	for _, ch := range m.Health() {
+		if ch.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeHealth(a, b core.Health) core.Health {
+	a.Violations += b.Violations
+	a.Overflows += b.Overflows
+	a.Evictions += b.Evictions
+	a.Suppressed += b.Suppressed
+	a.Quarantines += b.Quarantines
+	a.HandlerPanics += b.HandlerPanics
+	return a
 }
 
 // Store exposes the thread's per-thread store (introspection/tests).

@@ -80,6 +80,15 @@ func Write(w io.Writer, t *Trace) error {
 			enc.uvarint(uint64(ev.To))
 			enc.uvarint(uint64(ev.State))
 			enc.varint(int64(ev.Verdict))
+			if ev.Kind == KindQuarantine {
+				// Trailing byte for the newest kind only, so traces
+				// without quarantine events keep the original layout.
+				if ev.On {
+					enc.byte(1)
+				} else {
+					enc.byte(0)
+				}
+			}
 		}
 	}
 	if enc.err != nil {
@@ -185,7 +194,7 @@ func readBinary(br *bufio.Reader) (*Trace, error) {
 					ev.InStack = append(ev.InStack, int(dec.varint()))
 				}
 			}
-		case KindInit, KindClone, KindTransition, KindAccept, KindFail, KindOverflow:
+		case KindInit, KindClone, KindTransition, KindAccept, KindFail, KindOverflow, KindEvict, KindQuarantine:
 			ev.Class = dec.str()
 			ev.Symbol = dec.str()
 			ev.Key = dec.key()
@@ -194,6 +203,9 @@ func readBinary(br *bufio.Reader) (*Trace, error) {
 			ev.To = uint32(dec.uvarint())
 			ev.State = uint32(dec.uvarint())
 			ev.Verdict = core.VerdictKind(dec.varint())
+			if ev.Kind == KindQuarantine {
+				ev.On = dec.byte() != 0
+			}
 		default:
 			return nil, fmt.Errorf("trace: unknown event kind %d", ev.Kind)
 		}

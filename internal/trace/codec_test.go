@@ -58,7 +58,7 @@ func randomEvent(r *rand.Rand, seq uint64) Event {
 			}
 		}
 	} else {
-		ev.Kind = Kind(1 + r.Intn(int(KindOverflow)))
+		ev.Kind = Kind(1 + r.Intn(int(KindQuarantine)))
 		ev.Class = names[1+r.Intn(len(names)-1)]
 		ev.Symbol = names[r.Intn(len(names))]
 		ev.Key = randKey()
@@ -70,6 +70,9 @@ func randomEvent(r *rand.Rand, seq uint64) Event {
 		ev.State = uint32(r.Intn(16))
 		if ev.Kind == KindFail {
 			ev.Verdict = core.VerdictKind(1 + r.Intn(3))
+		}
+		if ev.Kind == KindQuarantine {
+			ev.On = r.Intn(2) == 0
 		}
 	}
 	return ev

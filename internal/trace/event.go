@@ -42,6 +42,12 @@ const (
 	KindFail
 	// KindOverflow is an instance-table overflow.
 	KindOverflow
+	// KindEvict is a live instance sacrificed by the EvictOldest overflow
+	// policy.
+	KindEvict
+	// KindQuarantine is a class entering (On) or leaving (!On) quarantine
+	// under the QuarantineClass overflow policy.
+	KindQuarantine
 )
 
 func (k Kind) String() string {
@@ -60,6 +66,10 @@ func (k Kind) String() string {
 		return "fail"
 	case KindOverflow:
 		return "overflow"
+	case KindEvict:
+		return "evict"
+	case KindQuarantine:
+		return "quarantine"
 	default:
 		return "Kind(?)"
 	}
@@ -110,6 +120,9 @@ type Event struct {
 	State     uint32           `json:"state,omitempty"`
 	Symbol    string           `json:"symbol,omitempty"`
 	Verdict   core.VerdictKind `json:"verdict,omitempty"`
+	// On distinguishes quarantine entry (true) from re-arm (false) for
+	// KindQuarantine.
+	On bool `json:"on,omitempty"`
 }
 
 // IsProgram reports whether the event is a replayable raw program event.
@@ -151,6 +164,14 @@ func (e *Event) String() string {
 		fmt.Fprintf(&b, " %s %s key=%s state=%d sym=%q", e.Class, e.Verdict, e.Key, e.State, e.Symbol)
 	case KindOverflow:
 		fmt.Fprintf(&b, " %s %s", e.Class, e.Key)
+	case KindEvict:
+		fmt.Fprintf(&b, " %s %s state=%d", e.Class, e.Key, e.State)
+	case KindQuarantine:
+		if e.On {
+			fmt.Fprintf(&b, " %s enter", e.Class)
+		} else {
+			fmt.Fprintf(&b, " %s re-arm", e.Class)
+		}
 	}
 	return b.String()
 }

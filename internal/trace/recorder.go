@@ -32,6 +32,12 @@ type Recorder struct {
 	names []string
 	cap   int
 
+	// DropFault, when non-nil, is consulted for every lifecycle event;
+	// returning true drops the event (counted in the trace's Dropped
+	// total) as if the ring had overflowed. It is the fault-injection
+	// seam used by internal/faultinject. Set before recording starts.
+	DropFault func() bool
+
 	seq atomic.Uint64
 
 	mu    sync.Mutex // guards sinks (growth) and life
@@ -103,14 +109,20 @@ func (s *threadSink) ProgramEvent(ev monitor.ProgramEvent) {
 	s.mu.Unlock()
 }
 
-// lifeEvent stamps and records one lifecycle event. It is called with the
-// store lock held (global context), so it must not call back into a store;
-// it only touches the recorder's own ring.
+// lifeEvent stamps and records one lifecycle event. Handlers are dispatched
+// after the store has released its locks, so this only has to serialise
+// against other recorder users. DropFault, when set, can reject the event
+// before it reaches the ring — the fault-injection seam for simulated ring
+// drops (counted like real ones).
 func (r *Recorder) lifeEvent(ev Event) {
 	ev.Seq = r.seq.Add(1)
 	ev.Thread = -1
 	r.mu.Lock()
-	r.life.push(ev)
+	if r.DropFault != nil && r.DropFault() {
+		r.life.dropped++
+	} else {
+		r.life.push(ev)
+	}
 	r.mu.Unlock()
 }
 
@@ -142,6 +154,16 @@ func (r *Recorder) Fail(v *core.Violation) {
 // Overflow implements core.Handler.
 func (r *Recorder) Overflow(cls *core.Class, key core.Key) {
 	r.lifeEvent(Event{Kind: KindOverflow, Class: cls.Name, Key: key})
+}
+
+// Evict implements core.Handler.
+func (r *Recorder) Evict(cls *core.Class, inst *core.Instance) {
+	r.lifeEvent(Event{Kind: KindEvict, Class: cls.Name, Key: inst.Key, State: inst.State})
+}
+
+// Quarantine implements core.Handler.
+func (r *Recorder) Quarantine(cls *core.Class, on bool) {
+	r.lifeEvent(Event{Kind: KindQuarantine, Class: cls.Name, On: on})
 }
 
 // EventCount returns how many events have been recorded so far, including

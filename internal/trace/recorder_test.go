@@ -6,6 +6,7 @@ import (
 
 	"tesla/internal/automata"
 	"tesla/internal/core"
+	"tesla/internal/faultinject"
 	"tesla/internal/monitor"
 	"tesla/internal/spec"
 	"tesla/internal/trace"
@@ -137,5 +138,40 @@ func TestRecorderBoundedMemory(t *testing.T) {
 	last := tr.Events[len(tr.Events)-1]
 	if last.Seq != rec.EventCount() {
 		t.Fatalf("newest event seq %d, recorder count %d", last.Seq, rec.EventCount())
+	}
+}
+
+// TestRecorderDropFault exercises the fault-injection seam: with every third
+// lifecycle push rejected by DropFault, the snapshot's Dropped count matches
+// the injector's fired count exactly and the surviving events are intact.
+func TestRecorderDropFault(t *testing.T) {
+	auto := mustAuto(t, "df", `TESLA_SYSCALL_PREVIOUSLY(chk(x) == 0)`)
+	rec := trace.NewRecorder([]*automata.Automaton{auto}, 0)
+	inj := faultinject.New(9)
+	inj.SetEvery(faultinject.SiteTraceDrop, 3)
+	rec.DropFault = func() bool { return inj.Should(faultinject.SiteTraceDrop, "life") }
+
+	cls := auto.Class
+	inst := &core.Instance{Active: true}
+	const pushes = 50
+	for i := 0; i < pushes; i++ {
+		rec.InstanceNew(cls, inst)
+	}
+	tr := rec.Snapshot()
+	fired := inj.Fired(faultinject.SiteTraceDrop, "life")
+	if fired == 0 {
+		t.Fatal("injector never fired; test lost its teeth")
+	}
+	if tr.Dropped != fired {
+		t.Fatalf("Dropped = %d, injector dropped %d", tr.Dropped, fired)
+	}
+	life := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == trace.KindInit {
+			life++
+		}
+	}
+	if life != pushes-int(fired) {
+		t.Fatalf("%d lifecycle events survived, want %d", life, pushes-int(fired))
 	}
 }

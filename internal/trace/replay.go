@@ -53,9 +53,24 @@ func Check(t *Trace, autos []*automata.Automaton) error {
 // fail-fast regardless of how the live run was configured: a fail-fast
 // trace is simply a prefix, and replaying it non-fatally still reproduces
 // the violations it recorded.
+//
+// Replay uses default supervision policies; a run recorded under a
+// different overflow policy can degrade differently (an evicted instance
+// survives a drop-new replay, say) and produce a different verdict. Use
+// ReplayOpts with the live run's policy options to reproduce those.
 func Replay(t *Trace, autos []*automata.Automaton) (*Result, error) {
+	return ReplayOpts(t, autos, monitor.Options{})
+}
+
+// ReplayOpts is Replay with explicit monitor options — the supervision
+// fields (Overflow, QuarantineAfter, RearmEvents, Failure) matter when the
+// recorded run degraded under a non-default policy. The Handler field is
+// overridden: replay owns verdict collection.
+func ReplayOpts(t *Trace, autos []*automata.Automaton, opts monitor.Options) (*Result, error) {
 	counting := core.NewCountingHandler()
-	m, err := monitor.New(monitor.Options{Handler: counting}, autos...)
+	opts.Handler = counting
+	opts.FailFast = false
+	m, err := monitor.New(opts, autos...)
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +163,18 @@ func dispatch(th *monitor.Thread, ev *Event) error {
 // right, not a hole-ridden subset. Thread IDs are renumbered in
 // first-appearance order.
 func Rerecord(events []Event, autos []*automata.Automaton) (*Trace, error) {
+	return RerecordOpts(events, autos, monitor.Options{})
+}
+
+// RerecordOpts is Rerecord under explicit monitor options, so a trace
+// shrunk under a non-default supervision policy re-records the lifecycle
+// events (evictions, quarantines) that policy causes.
+func RerecordOpts(events []Event, autos []*automata.Automaton, opts monitor.Options) (*Trace, error) {
 	rec := NewRecorder(autos, 0)
-	m, err := monitor.New(monitor.Options{Handler: rec, Tap: rec}, autos...)
+	opts.Handler = rec
+	opts.Tap = rec
+	opts.FailFast = false
+	m, err := monitor.New(opts, autos...)
 	if err != nil {
 		return nil, err
 	}

@@ -327,3 +327,74 @@ func TestReportRendersCounterexample(t *testing.T) {
 		t.Fatalf("dot output is not a digraph:\n%s", dot)
 	}
 }
+
+// overloadSrc checks more keys than the default 32-slot instance table
+// holds, then asserts the site for main's argument. Under EvictOldest the
+// live run evicts the oldest binding (key 0), so arg 0 violates — but only
+// when the replay runs under the same policy.
+const overloadSrc = `
+int security_check(int x) { return 0; }
+int do_work(int x) {
+	TESLA_WITHIN(main, previously(security_check(x)));
+	return x;
+}
+int main(int x) {
+	int i = 0;
+	while (i < 40) {
+		int r = security_check(i);
+		i = i + 1;
+	}
+	return do_work(x);
+}
+`
+
+// TestReplayPolicyFaithful: a run recorded under a non-default overflow
+// policy replays to the live verdict only under the same policy —
+// ReplayOpts/ShrinkOpts exist exactly for this, and a default replay of the
+// same trace (where the evicted instance survives) must come up clean.
+func TestReplayPolicyFaithful(t *testing.T) {
+	build, err := toolchain.BuildProgram(map[string]string{"prog.c": overloadSrc}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := monitor.Options{Overflow: core.EvictOldest}
+	counting := core.NewCountingHandler()
+	rec := trace.NewRecorder(build.Autos, 0)
+	live := pol
+	live.Handler = core.MultiHandler{counting, rec}
+	live.Tap = rec
+	if _, _, err := build.Run("main", live, 0); err != nil {
+		t.Fatalf("live run failed: %v", err)
+	}
+	if len(counting.Violations()) != 1 {
+		t.Fatalf("live run: %d violations, want 1 (key 0 evicted)", len(counting.Violations()))
+	}
+	tr := rec.Snapshot()
+
+	plain, err := trace.Replay(tr, build.Autos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Violations) != 0 {
+		t.Fatalf("default-policy replay: %v, want clean (nothing evicted under drop-new)", plain.Violations)
+	}
+
+	faithful, err := trace.ReplayOpts(tr, build.Autos, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := violationSigs(faithful.Violations), violationSigs(counting.Violations()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("policy replay = %v, want live verdicts %v", got, want)
+	}
+
+	if _, err := trace.Shrink(tr, build.Autos); err == nil {
+		t.Fatal("default-policy shrink found a violation to preserve; expected it to refuse")
+	}
+	res, err := trace.ShrinkOpts(tr, build.Autos, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kept == 0 || res.Removed == 0 {
+		t.Fatalf("shrink kept %d / removed %d, want a real reduction", res.Kept, res.Removed)
+	}
+}

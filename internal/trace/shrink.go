@@ -29,13 +29,23 @@ type ShrinkResult struct {
 
 // Shrink delta-debugs the trace against the given automata. The trace must
 // replay to at least one violation; its first violation's signature is the
-// one preserved.
+// one preserved. Like Replay, Shrink assumes default supervision policies;
+// use ShrinkOpts when the violation only manifests under the live run's
+// overflow policy.
 func Shrink(t *Trace, autos []*automata.Automaton) (*ShrinkResult, error) {
+	return ShrinkOpts(t, autos, monitor.Options{})
+}
+
+// ShrinkOpts is Shrink under explicit monitor options: every replay of a
+// candidate subset — and the final re-recording — runs under the same
+// supervision policy, so policy-dependent violations (an instance evicted
+// under overflow pressure, a quarantined class) shrink like any other.
+func ShrinkOpts(t *Trace, autos []*automata.Automaton, opts monitor.Options) (*ShrinkResult, error) {
 	if err := Check(t, autos); err != nil {
 		return nil, err
 	}
 	progs := t.Programs()
-	base, err := Replay(t, autos)
+	base, err := ReplayOpts(t, autos, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -44,10 +54,10 @@ func Shrink(t *Trace, autos []*automata.Automaton) (*ShrinkResult, error) {
 	}
 	target := base.Violations[0].Signature()
 
-	test := func(events []Event) bool { return violates(events, autos, target) }
+	test := func(events []Event) bool { return violates(events, autos, target, opts) }
 	minimal := ddmin(progs, test)
 
-	shrunk, err := Rerecord(minimal, autos)
+	shrunk, err := RerecordOpts(minimal, autos, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -62,9 +72,11 @@ func Shrink(t *Trace, autos []*automata.Automaton) (*ShrinkResult, error) {
 // violates replays a candidate event sequence and reports whether any
 // violation with the target signature occurs. Candidates that fail to
 // replay at all (structurally broken subsets) simply don't violate.
-func violates(events []Event, autos []*automata.Automaton, target string) bool {
+func violates(events []Event, autos []*automata.Automaton, target string, opts monitor.Options) bool {
 	counting := core.NewCountingHandler()
-	m, err := monitor.New(monitor.Options{Handler: counting}, autos...)
+	opts.Handler = counting
+	opts.FailFast = false
+	m, err := monitor.New(opts, autos...)
 	if err != nil {
 		return false
 	}
