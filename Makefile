@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate
 
-ci: fmt vet build test race check cache-gate chaos-gate fuzz-smoke bench-compare
+ci: fmt vet build test race check liveness-gate cache-gate chaos-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,14 +30,33 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The static checker over the demo programs: safe.c must pass (exit 0),
-# doomed.c must be rejected (exit 1).
+# The static checker over the demo programs: safe.c and liveness.c must
+# pass (exit 0), doomed.c must be rejected (exit 1); the -json reports
+# must match the golden files byte for byte (regenerate with
+# `go test ./examples/staticcheck -update`).
 check: build
 	$(GO) run ./cmd/tesla-check examples/staticcheck/testdata/safe.c
 	! $(GO) run ./cmd/tesla-check examples/staticcheck/testdata/doomed.c
+	$(GO) run ./cmd/tesla-check examples/staticcheck/testdata/liveness.c
+	@for n in safe liveness; do \
+		$(GO) run ./cmd/tesla-check -json examples/staticcheck/testdata/$$n.c \
+			| diff - examples/staticcheck/testdata/$$n.golden.json \
+			|| { echo "check: $$n.c JSON drifted from golden"; exit 1; }; \
+	done
+	@$(GO) run ./cmd/tesla-check -json examples/staticcheck/testdata/doomed.c \
+		| diff - examples/staticcheck/testdata/doomed.golden.json \
+		|| { echo "check: doomed.c JSON drifted from golden"; exit 1; }
+
+# Soundness differential for the liveness refinement: every corpus
+# program is executed under the real VM/monitor across an input range; a
+# liveness-PROVABLY-SAFE assertion must never record a runtime violation,
+# and its hooks must actually be elided.
+liveness-gate:
+	$(GO) test -count=1 ./internal/staticcheck -run 'TestLivenessGate|TestVerdictSoundness'
+	$(GO) test -count=1 ./examples/staticcheck -run 'TestJSONGoldens'
 
 bench:
-	$(GO) run ./cmd/tesla-bench -fig elision -files 8
+	$(GO) run ./cmd/tesla-bench -fig elide -files 8
 
 # The §5.1 rebuild matrix on the build graph: cold vs warm vs one-file
 # incremental, sequential vs parallel.

@@ -7,7 +7,11 @@
 //
 //	tesla-bench -all
 //	tesla-bench -table 1
-//	tesla-bench -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild|faults
+//	tesla-bench -fig 9|10|11a|11b|12|13|14a|14b|elide|trace|shard|rebuild|faults
+//
+// -fig elide (alias: elision) prints the hook/instruction counts of the
+// three elision rungs: full instrumentation, safety-only elision, and
+// elision with the liveness refinement.
 package main
 
 import (
@@ -21,13 +25,13 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run everything")
 	table := flag.String("table", "", "regenerate a table (1)")
-	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elision, trace, shard, rebuild, faults)")
+	fig := flag.String("fig", "", "regenerate a figure (9, 10, 11a, 11b, 12, 13, 14a, 14b, elide, trace, shard, rebuild, faults)")
 	iters := flag.Int("iters", 2000, "iterations per measurement")
 	files := flag.Int("files", 24, "files in the figure 10 synthetic codebase")
 	flag.Parse()
 
 	if !*all && *table == "" && *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: tesla-bench -all | -table 1 | -fig 9|10|11a|11b|12|13|14a|14b|elision|trace|shard|rebuild|faults")
+		fmt.Fprintln(os.Stderr, "usage: tesla-bench -all | -table 1 | -fig 9|10|11a|11b|12|13|14a|14b|elide|trace|shard|rebuild|faults")
 		os.Exit(2)
 	}
 
@@ -68,7 +72,7 @@ func main() {
 	if want("14b") {
 		run("fig14b", func() error { return bench.Fig14b(w, 256) })
 	}
-	if want("elision") {
+	if want("elision") || want("elide") {
 		run("elision", func() error { return bench.Elision(w, *files, 6) })
 	}
 	if want("trace") {

@@ -4,9 +4,15 @@
 // instrumentation can be elided), PROVABLY-FAILING (a compile-time error:
 // the assertion cannot hold in any completing run) or NEEDS-RUNTIME.
 //
+// PROVABLY-SAFE now covers liveness too: «eventually» obligations whose
+// discharge the refinement pass proves (counted-loop ranking, pruned
+// infeasible branches) are reported with their proof lines. Where the
+// proof fails, the missing □◇ fairness assumption is printed as an
+// obligation line (and carried structurally in the -json output).
+//
 // Usage:
 //
-//	tesla-check [-entry main] [-dot] [-q] file.c...
+//	tesla-check [-entry main] [-dot] [-json] [-q] file.c...
 //
 // The exit status is 1 when any assertion is PROVABLY-FAILING, 2 on usage
 // or compilation errors, 0 otherwise.
@@ -22,9 +28,10 @@ import (
 )
 
 func main() {
-	tool := cli.New("tesla-check", "[-entry main] [-dot] [-q] file.c...")
+	tool := cli.New("tesla-check", "[-entry main] [-dot] [-json] [-q] file.c...")
 	entry := flag.String("entry", "main", "program entry point the analysis starts from")
 	dot := flag.Bool("dot", false, "dump each assertion's explored product graph as Graphviz")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (stable field order) instead of text")
 	quiet := flag.Bool("q", false, "only print non-SAFE assertions")
 	sources := tool.LoadSources(tool.ParseSourceArgs())
 
@@ -33,21 +40,23 @@ func main() {
 		tool.FatalCode(2, err)
 	}
 
-	for _, r := range rep.Results {
-		if *quiet && r.Verdict == staticcheck.Safe {
-			continue
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			tool.FatalCode(2, err)
 		}
-		fmt.Printf("%s: %s\n", r.Automaton.Name, r.Verdict)
-		for _, reason := range r.Reasons {
-			fmt.Printf("\t%s\n", reason)
-		}
-		if *dot {
+	} else if *dot {
+		for _, r := range rep.Results {
+			if *quiet && r.Verdict == staticcheck.Safe {
+				continue
+			}
+			r.WriteText(os.Stdout)
 			fmt.Print(r.Dot())
 		}
+		rep.Summary(os.Stdout)
+	} else {
+		rep.WriteText(os.Stdout, *quiet)
 	}
-	safe, failing, runtime := rep.Counts()
-	fmt.Printf("%d assertions: %d provably safe, %d provably failing, %d need runtime checking\n",
-		safe+failing+runtime, safe, failing, runtime)
+	_, failing, _ := rep.Counts()
 	if failing > 0 {
 		os.Exit(1)
 	}

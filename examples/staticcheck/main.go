@@ -1,6 +1,8 @@
 // Command staticcheck demonstrates the compile-time model checker: one
 // assertion is proved safe (its instrumentation is elided), one is proved
-// doomed (reported without ever running the program).
+// doomed (reported without ever running the program), and one carries a
+// liveness obligation only the refinement pass can discharge (counted
+// flush loop → PROVABLY-SAFE with proof lines, hooks elided).
 //
 //	go run ./examples/staticcheck
 package main
@@ -19,7 +21,7 @@ func main() {
 	if len(os.Args) > 1 {
 		dir = os.Args[1]
 	}
-	for _, name := range []string{"safe.c", "doomed.c"} {
+	for _, name := range []string{"safe.c", "doomed.c", "liveness.c"} {
 		text, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -37,6 +39,12 @@ func main() {
 			fmt.Printf("  %-22s %s\n", r.Automaton.Name, r.Verdict)
 			for _, reason := range r.Reasons {
 				fmt.Printf("    - %s\n", reason)
+			}
+			for _, p := range r.Proof {
+				fmt.Printf("    - %s\n", p)
+			}
+			for _, o := range r.Obligations {
+				fmt.Printf("    - obligation: %s\n", o.Detail)
 			}
 		}
 

@@ -1,0 +1,32 @@
+/*
+ * A liveness obligation the refinement pass can discharge: the
+ * «eventually» event is produced inside a counted flush loop whose bound
+ * arrives as a constant call argument. The safety pass alone must keep
+ * the assertion NEEDS-RUNTIME (a zero-trip loop would strand it); the
+ * liveness pass proves the loop terminates with at least one trip and
+ * upgrades the verdict to PROVABLY-SAFE, so the hooks are elided.
+ */
+
+int audit_log(int event) {
+	return event - event;
+}
+
+int do_work(int x) {
+	TESLA_WITHIN(main, eventually(audit_log(ANY(int))));
+	return x;
+}
+
+int flush_log(int n) {
+	int i = 0;
+	while (i < n) {
+		int r = audit_log(i);
+		i = i + 1;
+	}
+	return i;
+}
+
+int main(int x) {
+	int w = do_work(x);
+	int f = flush_log(4);
+	return w;
+}

@@ -185,8 +185,10 @@ func LintSources(sources map[string]string) ([]Warning, error) {
 
 // LintProgram runs the syntactic lint and the static model checker
 // together: checker verdicts sharpen the lint (a PROVABLY-FAILING
-// assertion becomes a warning even when every event function exists),
-// and the full report is returned for callers that want the verdicts.
+// assertion becomes a warning even when every event function exists,
+// and a NEEDS-RUNTIME assertion with undischarged liveness obligations
+// surfaces the missing □◇ fairness assumptions), and the full report is
+// returned for callers that want the verdicts.
 func LintProgram(sources map[string]string, entry string) ([]Warning, *staticcheck.Report, error) {
 	warnings, err := LintSources(sources)
 	if err != nil {
@@ -197,14 +199,24 @@ func LintProgram(sources map[string]string, entry string) ([]Warning, *staticche
 		return nil, nil, err
 	}
 	for _, r := range rep.Results {
-		if r.Verdict != staticcheck.Failing {
-			continue
+		switch r.Verdict {
+		case staticcheck.Failing:
+			warnings = append(warnings, Warning{
+				Assertion: r.Automaton.Name,
+				Message:   "assertion is provably failing: " + strings.Join(r.Reasons, "; "),
+			})
+		case staticcheck.NeedsRuntime:
+			for _, o := range r.Obligations {
+				if o.Fairness == "" {
+					continue
+				}
+				warnings = append(warnings, Warning{
+					Assertion: r.Automaton.Name,
+					Message: fmt.Sprintf("%s obligation not provable: assume %s (%s)",
+						o.Kind, o.Fairness, o.Detail),
+				})
+			}
 		}
-		w := Warning{
-			Assertion: r.Automaton.Name,
-			Message:   "assertion is provably failing: " + strings.Join(r.Reasons, "; "),
-		}
-		warnings = append(warnings, w)
 	}
 	sort.Slice(warnings, func(i, j int) bool {
 		if warnings[i].Assertion != warnings[j].Assertion {

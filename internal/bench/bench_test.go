@@ -201,17 +201,25 @@ func TestElisionRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if es.SafeAssertions != 1 || es.RuntimeAssertions != 1 {
+	if es.SafeAssertions != 2 || es.RuntimeAssertions != 1 {
 		t.Fatalf("verdicts = %d safe, %d runtime", es.SafeAssertions, es.RuntimeAssertions)
 	}
-	if es.ElidedHooks+es.ElidedAway != es.FullHooks || es.ElidedAway == 0 {
+	// Exactly one of the safe assertions needs the liveness pass.
+	if es.SafetySafe != 1 {
+		t.Fatalf("safety pass proved %d assertions, want 1", es.SafetySafe)
+	}
+	if es.LivenessHooks+es.LivenessAway != es.FullHooks || es.LivenessAway == 0 {
 		t.Fatalf("hook accounting: %+v", es)
 	}
-	if es.ElidedInstrs >= es.FullInstrs {
-		t.Fatalf("elision did not shrink the program: %d vs %d", es.ElidedInstrs, es.FullInstrs)
+	// Each rung must strictly remove hooks: full > safety-only > liveness.
+	if es.SafetyHooks >= es.FullHooks || es.LivenessHooks >= es.SafetyHooks {
+		t.Fatalf("elision ladder not strictly decreasing: %+v", es)
 	}
-	if es.ElidedSteps >= es.FullSteps {
-		t.Fatalf("elision did not shorten the run: %d vs %d", es.ElidedSteps, es.FullSteps)
+	if es.LivenessInstrs >= es.SafetyInstrs || es.SafetyInstrs >= es.FullInstrs {
+		t.Fatalf("elision did not shrink the program: %+v", es)
+	}
+	if es.LivenessSteps >= es.SafetySteps || es.SafetySteps >= es.FullSteps {
+		t.Fatalf("elision did not shorten the run: %+v", es)
 	}
 	var buf strings.Builder
 	if err := Elision(&buf, 3, 3); err != nil {

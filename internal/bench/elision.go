@@ -9,12 +9,20 @@ import (
 	"tesla/internal/toolchain"
 )
 
-// ElisionCodebase is the figure 10 codebase with one more assertion in the
-// client: an audit-trail obligation whose event runs unconditionally before
-// the site, so the static checker proves it PROVABLY-SAFE. The original
-// EVP_VerifyFinal assertion carries a constant return pattern and stays
-// NEEDS-RUNTIME — the pair shows elision removing exactly the provable
-// half of the instrumentation.
+// ElisionCodebase is the figure 10 codebase with three more assertions in
+// the clients, one per elision rung:
+//
+//   - an audit-trail `previously` obligation whose event runs
+//     unconditionally before the site — the safety pass alone proves it
+//     PROVABLY-SAFE;
+//   - an `eventually` obligation discharged only by a counted flush loop —
+//     NEEDS-RUNTIME for the safety pass, PROVABLY-SAFE once the liveness
+//     refinement proves the loop terminates and the audit call runs;
+//   - the original EVP_VerifyFinal assertion with a constant return
+//     pattern, which stays NEEDS-RUNTIME on every rung.
+//
+// Together they show elision removing exactly the provable part of the
+// instrumentation, rung by rung.
 func ElisionCodebase(files, fnsPerFile int) map[string]string {
 	sources := OpenSSLCodebase(files, fnsPerFile)
 	sources["audit.c"] = `
@@ -33,29 +41,57 @@ int fetch_document(int sig) {
 }
 int main(int sig) {
 	int logged = audit_log(sig);
-	return fetch_document(sig);
+	int body = fetch_document(sig);
+	int flushed = flush_log(4);
+	return body;
+}
+`
+	sources["flush.c"] = `
+int flush_log(int n) {
+	TESLA_WITHIN(main, eventually(audit_log(ANY(int))));
+	int i = 0;
+	while (i < n) {
+		int r = audit_log(i);
+		i = i + 1;
+	}
+	return i;
 }
 `
 	return sources
 }
 
-// ElisionStats compares the instrumented program with and without
-// checker-driven elision.
+// ElisionStats compares the instrumented program across the elision rungs:
+// no elision, safety-only elision, and elision with the liveness
+// refinement.
 type ElisionStats struct {
-	// SafeAssertions / RuntimeAssertions partition the verdicts.
-	SafeAssertions, RuntimeAssertions int
-	// FullHooks / ElidedHooks are the hook counts of the two builds;
-	// ElidedAway is how many the checker removed.
-	FullHooks, ElidedHooks, ElidedAway int
-	// FullInstrs / ElidedInstrs count static IR instructions in the two
-	// linked programs.
-	FullInstrs, ElidedInstrs int
-	// FullSteps / ElidedSteps are dynamic vm instruction counts for one
-	// representative run.
-	FullSteps, ElidedSteps int64
+	// SafeAssertions / RuntimeAssertions partition the verdicts with the
+	// liveness pass on; SafetySafe is how many the safety pass alone
+	// proves, so SafeAssertions-SafetySafe is the liveness rung's gain.
+	SafeAssertions, SafetySafe, RuntimeAssertions int
+	// FullHooks / SafetyHooks / LivenessHooks are the hook counts of the
+	// three builds; LivenessAway is how many hooks the liveness build
+	// removed in total.
+	FullHooks, SafetyHooks, LivenessHooks, LivenessAway int
+	// FullInstrs / SafetyInstrs / LivenessInstrs count static IR
+	// instructions in the three linked programs.
+	FullInstrs, SafetyInstrs, LivenessInstrs int
+	// FullSteps / SafetySteps / LivenessSteps are dynamic vm instruction
+	// counts for one representative run of each build.
+	FullSteps, SafetySteps, LivenessSteps int64
 }
 
-// ElisionMeasure builds the codebase twice and runs both programs once.
+func countInstrs(b *toolchain.Build) int {
+	n := 0
+	for _, f := range b.Program.Funcs {
+		for _, blk := range f.Blocks {
+			n += len(blk.Instrs)
+		}
+	}
+	return n
+}
+
+// ElisionMeasure builds the codebase three times — full instrumentation,
+// safety-only elision, elision with liveness — and runs each program once.
 func ElisionMeasure(sources map[string]string) (ElisionStats, error) {
 	var es ElisionStats
 
@@ -65,63 +101,75 @@ func ElisionMeasure(sources map[string]string) (ElisionStats, error) {
 	if err != nil {
 		return es, err
 	}
-	elided, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+	safety, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+		Instrument: true, Check: true, Elide: true, NoLiveness: true,
+	})
+	if err != nil {
+		return es, err
+	}
+	liveness, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
 		Instrument: true, Check: true, Elide: true,
 	})
 	if err != nil {
 		return es, err
 	}
 
-	safe, _, runtime := full.Report.Counts()
+	safe, _, runtime := liveness.Report.Counts()
 	es.SafeAssertions, es.RuntimeAssertions = safe, runtime
+	es.SafetySafe, _, _ = safety.Report.Counts()
 	es.FullHooks = full.Stats.Hooks
-	es.ElidedHooks = elided.Stats.Hooks
-	es.ElidedAway = elided.Stats.ElidedHooks
-	for _, f := range full.Program.Funcs {
-		for _, b := range f.Blocks {
-			es.FullInstrs += len(b.Instrs)
-		}
-	}
-	for _, f := range elided.Program.Funcs {
-		for _, b := range f.Blocks {
-			es.ElidedInstrs += len(b.Instrs)
-		}
-	}
+	es.SafetyHooks = safety.Stats.Hooks
+	es.LivenessHooks = liveness.Stats.Hooks
+	es.LivenessAway = liveness.Stats.ElidedHooks
+	es.FullInstrs = countInstrs(full)
+	es.SafetyInstrs = countInstrs(safety)
+	es.LivenessInstrs = countInstrs(liveness)
 
 	const arg = 3 // sig % 7 == 3: the verification succeeds
-	_, rtFull, err := full.Run("main", monitor.Options{Handler: core.NopHandler{}}, arg)
-	if err != nil {
+	run := func(b *toolchain.Build) (int64, error) {
+		_, rt, err := b.Run("main", monitor.Options{Handler: core.NopHandler{}}, arg)
+		if err != nil {
+			return 0, err
+		}
+		return rt.VM.Steps(), nil
+	}
+	if es.FullSteps, err = run(full); err != nil {
 		return es, err
 	}
-	es.FullSteps = rtFull.VM.Steps()
-	_, rtElided, err := elided.Run("main", monitor.Options{Handler: core.NopHandler{}}, arg)
-	if err != nil {
+	if es.SafetySteps, err = run(safety); err != nil {
 		return es, err
 	}
-	es.ElidedSteps = rtElided.VM.Steps()
+	if es.LivenessSteps, err = run(liveness); err != nil {
+		return es, err
+	}
 	return es, nil
 }
 
 // Elision prints the static-checker elision table over the synthetic
-// codebase (the compile-time complement to the figure 9/10 overheads).
+// codebase (the compile-time complement to the figure 9/10 overheads),
+// with one rung per checker capability: safety-only elision and elision
+// with the liveness refinement.
 func Elision(w io.Writer, files, fnsPerFile int) error {
 	es, err := ElisionMeasure(ElisionCodebase(files, fnsPerFile))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "static checker elision (%d files, %d fns/file): %d assertions provably safe, %d need runtime\n",
-		files, fnsPerFile, es.SafeAssertions, es.RuntimeAssertions)
+	fmt.Fprintf(w, "static checker elision (%d files, %d fns/file): %d assertions provably safe (%d safety, %d liveness), %d need runtime\n",
+		files, fnsPerFile, es.SafeAssertions, es.SafetySafe, es.SafeAssertions-es.SafetySafe, es.RuntimeAssertions)
 	Table(w, "instrumented hooks", []Row{
 		{Label: "full", Value: float64(es.FullHooks), Unit: "hooks"},
-		{Label: "elided", Value: float64(es.ElidedHooks), Unit: "hooks"},
+		{Label: "elide (safety)", Value: float64(es.SafetyHooks), Unit: "hooks"},
+		{Label: "elide (+liveness)", Value: float64(es.LivenessHooks), Unit: "hooks"},
 	}, "full")
 	Table(w, "static instructions", []Row{
 		{Label: "full", Value: float64(es.FullInstrs), Unit: "instrs"},
-		{Label: "elided", Value: float64(es.ElidedInstrs), Unit: "instrs"},
+		{Label: "elide (safety)", Value: float64(es.SafetyInstrs), Unit: "instrs"},
+		{Label: "elide (+liveness)", Value: float64(es.LivenessInstrs), Unit: "instrs"},
 	}, "full")
 	Table(w, "dynamic instructions (one run)", []Row{
 		{Label: "full", Value: float64(es.FullSteps), Unit: "steps"},
-		{Label: "elided", Value: float64(es.ElidedSteps), Unit: "steps"},
+		{Label: "elide (safety)", Value: float64(es.SafetySteps), Unit: "steps"},
+		{Label: "elide (+liveness)", Value: float64(es.LivenessSteps), Unit: "steps"},
 	}, "full")
 	return nil
 }

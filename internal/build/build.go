@@ -46,6 +46,10 @@ type Options struct {
 	Check      bool
 	Elide      bool
 	Entry      string
+	// NoLiveness restricts the checker to the safety pass; part of the
+	// check node's key, so toggling it re-runs the check and re-keys
+	// every downstream instrument node exactly when the safe set moves.
+	NoLiveness bool
 	// Jobs bounds the worker pool; <= 0 means GOMAXPROCS.
 	Jobs int
 	// Cache supplies artifact reuse across builds; nil means a fresh
@@ -345,14 +349,14 @@ func Run(sources map[string]string, opts Options) (*Result, error) {
 			id:      "check",
 			kind:    "check",
 			deps:    []*node{rawLink, autosNode},
-			extra:   [][]byte{[]byte(opts.Entry)},
+			extra:   [][]byte{[]byte(opts.Entry), []byte(fmt.Sprintf("liveness=%t", !opts.NoLiveness))},
 			extraFn: func() [][]byte { _, fp := g.defined(); return [][]byte{fp} },
 			run: func() (any, error) {
 				defs, _ := g.defined()
 				return staticcheck.Check(
 					rawLink.art.(*moduleArtifact).Module,
 					autosNode.art.(*autosArtifact).Autos,
-					staticcheck.Options{Entry: opts.Entry, DefinedFns: defs},
+					staticcheck.Options{Entry: opts.Entry, DefinedFns: defs, NoLiveness: opts.NoLiveness},
 				), nil
 			},
 			encode: func(art any) ([]byte, error) {

@@ -1,0 +1,253 @@
+package ir
+
+import "sort"
+
+// Control-flow and call-graph helpers for whole-program analyses. The
+// static checker's liveness pass needs dominators (to find back edges),
+// natural loops (to rank counters and widen at loop heads) and the direct
+// call graph (to decide whether a discharging event is reachable at all).
+
+// Succs returns the indices of the blocks b can transfer control to. A
+// block whose last instruction is not a terminator has no successors
+// (unreachable filler emitted by the front end).
+func (f *Func) Succs(b int) []int {
+	blk := f.Blocks[b]
+	if len(blk.Instrs) == 0 {
+		return nil
+	}
+	t := blk.Instrs[len(blk.Instrs)-1]
+	switch t.Op {
+	case OpBr:
+		return []int{t.Blk1}
+	case OpCondBr:
+		if t.Blk1 == t.Blk2 {
+			return []int{t.Blk1}
+		}
+		return []int{t.Blk1, t.Blk2}
+	}
+	return nil
+}
+
+// Preds returns, for every block, the indices of its predecessors, in
+// ascending order. Unreachable blocks appear only as sources, never as
+// roots of the analysis.
+func (f *Func) Preds() [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for b := range f.Blocks {
+		for _, s := range f.Succs(b) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// ReachableBlocks returns the set of blocks reachable from block 0.
+func (f *Func) ReachableBlocks() []bool {
+	seen := make([]bool, len(f.Blocks))
+	if len(f.Blocks) == 0 {
+		return seen
+	}
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Succs(b) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dominators computes the dominator sets of every block reachable from
+// block 0 with the classic iterative dataflow: dom(b) = {b} ∪ ⋂ dom(p)
+// over reachable predecessors. dom[b] is nil for unreachable blocks.
+// Functions here are small enough that the simple O(n²) fixpoint is fine.
+func (f *Func) Dominators() []map[int]bool {
+	n := len(f.Blocks)
+	reach := f.ReachableBlocks()
+	preds := f.Preds()
+	dom := make([]map[int]bool, n)
+	if n == 0 || !reach[0] {
+		return dom
+	}
+	all := map[int]bool{}
+	for b := 0; b < n; b++ {
+		if reach[b] {
+			all[b] = true
+		}
+	}
+	dom[0] = map[int]bool{0: true}
+	for b := 1; b < n; b++ {
+		if reach[b] {
+			dom[b] = copySet(all)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := 1; b < n; b++ {
+			if !reach[b] {
+				continue
+			}
+			next := map[int]bool(nil)
+			for _, p := range preds[b] {
+				if !reach[p] {
+					continue
+				}
+				if next == nil {
+					next = copySet(dom[p])
+				} else {
+					for d := range next {
+						if !dom[p][d] {
+							delete(next, d)
+						}
+					}
+				}
+			}
+			if next == nil {
+				next = map[int]bool{}
+			}
+			next[b] = true
+			if len(next) != len(dom[b]) {
+				dom[b] = next
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// NaturalLoop is the loop of one or more back edges u→Head where Head
+// dominates u: Head plus every block that can reach a latch without
+// passing through Head.
+type NaturalLoop struct {
+	// Head is the loop header (the back edges' target).
+	Head int
+	// Blocks are the loop's members including Head, ascending.
+	Blocks []int
+	// Latches are the back edges' sources, ascending.
+	Latches []int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *NaturalLoop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Loops finds the natural loops of f, merged per header, ordered by
+// header index. Irreducible cycles (none are produced by the csub front
+// end) simply yield no loop.
+func (f *Func) Loops() []NaturalLoop {
+	dom := f.Dominators()
+	preds := f.Preds()
+	latches := map[int][]int{}
+	for b := range f.Blocks {
+		if dom[b] == nil {
+			continue
+		}
+		for _, s := range f.Succs(b) {
+			if dom[b][s] { // s dominates b: back edge b→s
+				latches[s] = append(latches[s], b)
+			}
+		}
+	}
+	heads := make([]int, 0, len(latches))
+	for h := range latches {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+
+	var out []NaturalLoop
+	for _, h := range heads {
+		body := map[int]bool{h: true}
+		var stack []int
+		for _, l := range latches[h] {
+			if !body[l] {
+				body[l] = true
+				stack = append(stack, l)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range preds[b] {
+				if dom[p] != nil && !body[p] {
+					body[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		loop := NaturalLoop{Head: h}
+		for b := range body {
+			loop.Blocks = append(loop.Blocks, b)
+		}
+		sort.Ints(loop.Blocks)
+		loop.Latches = append(loop.Latches, latches[h]...)
+		sort.Ints(loop.Latches)
+		out = append(out, loop)
+	}
+	return out
+}
+
+// Callees returns the distinct symbols f calls directly (OpCall), sorted.
+// Indirect calls (OpCallPtr) have no static callee and are not included.
+func (f *Func) Callees() []string {
+	set := map[string]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall {
+				set[in.Sym] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CallGraph maps every function to its direct callees (defined or not).
+func (m *Module) CallGraph() map[string][]string {
+	out := make(map[string][]string, len(m.Funcs))
+	for _, f := range m.Funcs {
+		out[f.Name] = f.Callees()
+	}
+	return out
+}
+
+// Reachable returns the functions reachable from entry (inclusive)
+// through direct calls into defined functions.
+func (m *Module) Reachable(entry string) map[string]bool {
+	cg := m.CallGraph()
+	seen := map[string]bool{}
+	if _, ok := cg[entry]; !ok {
+		return seen
+	}
+	stack := []string{entry}
+	seen[entry] = true
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, callee := range cg[fn] {
+			if _, defined := cg[callee]; defined && !seen[callee] {
+				seen[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return seen
+}

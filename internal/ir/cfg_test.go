@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildLoopFunc hand-assembles the CFG the front end emits for
+//
+//	int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; }
+//
+// block 0: entry     → br 1
+// block 1: while.head → condbr 2, 3
+// block 2: while.body → br 1
+// block 3: while.exit → ret
+func buildLoopFunc() *Func {
+	f := &Func{Name: "f", NParams: 1, NRegs: 8}
+	f.Blocks = []*Block{
+		{Name: "entry", Instrs: []Instr{
+			{Op: OpAlloca, Dst: 1, Imm: 1},
+			{Op: OpStore, X: 1, Y: 0},
+			{Op: OpBr, Blk1: 1},
+		}},
+		{Name: "while.head", Instrs: []Instr{
+			{Op: OpLoad, Dst: 2, X: 1},
+			{Op: OpConst, Dst: 3, Imm: 3},
+			{Op: OpBin, Dst: 4, X: 2, Y: 3, Imm: int64(BinLt)},
+			{Op: OpCondBr, X: 4, Blk1: 2, Blk2: 3},
+		}},
+		{Name: "while.body", Instrs: []Instr{
+			{Op: OpLoad, Dst: 5, X: 1},
+			{Op: OpConst, Dst: 6, Imm: 1},
+			{Op: OpBin, Dst: 7, X: 5, Y: 6, Imm: int64(BinAdd)},
+			{Op: OpStore, X: 1, Y: 7},
+			{Op: OpBr, Blk1: 1},
+		}},
+		{Name: "while.exit", Instrs: []Instr{
+			{Op: OpLoad, Dst: 2, X: 1},
+			{Op: OpRet, X: 2, HasX: true},
+		}},
+	}
+	return f
+}
+
+func TestSuccsPreds(t *testing.T) {
+	f := buildLoopFunc()
+	if got := f.Succs(0); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Succs(0) = %v", got)
+	}
+	if got := f.Succs(1); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("Succs(1) = %v", got)
+	}
+	preds := f.Preds()
+	if !reflect.DeepEqual(preds[1], []int{0, 2}) {
+		t.Fatalf("Preds(1) = %v", preds[1])
+	}
+	if len(preds[0]) != 0 {
+		t.Fatalf("Preds(0) = %v", preds[0])
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := buildLoopFunc()
+	dom := f.Dominators()
+	// The head dominates body and exit; the body dominates nothing else.
+	if !dom[2][1] || !dom[3][1] || !dom[3][0] {
+		t.Fatalf("dominators wrong: %v", dom)
+	}
+	if dom[3][2] {
+		t.Fatal("body must not dominate exit")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	f := buildLoopFunc()
+	loops := f.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %v", loops)
+	}
+	l := loops[0]
+	if l.Head != 1 || !reflect.DeepEqual(l.Blocks, []int{1, 2}) || !reflect.DeepEqual(l.Latches, []int{2}) {
+		t.Fatalf("loop = %+v", l)
+	}
+	if !l.Contains(2) || l.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestLoopsUnreachableBlock(t *testing.T) {
+	f := buildLoopFunc()
+	// A parked, unreachable block with a branch into the loop must not
+	// confuse dominance or loop membership.
+	f.Blocks = append(f.Blocks, &Block{Name: "dead", Instrs: []Instr{{Op: OpBr, Blk1: 1}}})
+	loops := f.Loops()
+	if len(loops) != 1 || !reflect.DeepEqual(loops[0].Blocks, []int{1, 2}) {
+		t.Fatalf("loops with dead block = %v", loops)
+	}
+	if f.Dominators()[4] != nil {
+		t.Fatal("unreachable block must have no dominator set")
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	m := &Module{Name: "m", Funcs: []*Func{
+		{Name: "main", Blocks: []*Block{{Instrs: []Instr{
+			{Op: OpCall, Sym: "a"},
+			{Op: OpRet},
+		}}}},
+		{Name: "a", Blocks: []*Block{{Instrs: []Instr{
+			{Op: OpCall, Sym: "b"},
+			{Op: OpCall, Sym: "missing"},
+			{Op: OpRet},
+		}}}},
+		{Name: "b", Blocks: []*Block{{Instrs: []Instr{{Op: OpRet}}}}},
+		{Name: "island", Blocks: []*Block{{Instrs: []Instr{{Op: OpRet}}}}},
+	}}
+	cg := m.CallGraph()
+	if !reflect.DeepEqual(cg["a"], []string{"b", "missing"}) {
+		t.Fatalf("callees(a) = %v", cg["a"])
+	}
+	r := m.Reachable("main")
+	if !r["main"] || !r["a"] || !r["b"] || r["island"] || r["missing"] {
+		t.Fatalf("reachable = %v", r)
+	}
+}

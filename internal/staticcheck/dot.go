@@ -13,6 +13,14 @@ import (
 type productGraph struct {
 	nodes map[string]pnode
 	edges map[string]pedge
+	// obls are the undischarged-obligation edges: dashed arrows from the
+	// config the obligation was recorded at to a synthetic note node
+	// carrying the missing fairness assumption.
+	obls map[string]pobl
+}
+
+type pobl struct {
+	from, label string
 }
 
 type pnode struct {
@@ -26,7 +34,16 @@ type pedge struct {
 }
 
 func newProductGraph() *productGraph {
-	return &productGraph{nodes: map[string]pnode{}, edges: map[string]pedge{}}
+	return &productGraph{nodes: map[string]pnode{}, edges: map[string]pedge{}, obls: map[string]pobl{}}
+}
+
+// obligation records an undischarged-obligation edge from the config
+// keyed by from to a synthetic node labelled with the missing assumption.
+func (g *productGraph) obligation(from, label string) {
+	if _, ok := g.nodes[from]; !ok {
+		g.nodes[from] = pnode{label: "start", closed: true}
+	}
+	g.obls[from+"⇒"+label] = pobl{from: from, label: label}
 }
 
 func nodeFor(cfg config) pnode {
@@ -101,6 +118,31 @@ func (g *productGraph) dot(name string) string {
 	})
 	for _, e := range edges {
 		fmt.Fprintf(&b, "\tc%d -> c%d [label=\"%s\"];\n", id[e.from], id[e.to], e.label)
+	}
+	// Obligation edges: one note node per distinct assumption, dashed
+	// orange arrows from every config that recorded it.
+	labels := map[string]int{}
+	var labelKeys []string
+	for _, o := range g.obls {
+		if _, ok := labels[o.label]; !ok {
+			labels[o.label] = 0
+			labelKeys = append(labelKeys, o.label)
+		}
+	}
+	sort.Strings(labelKeys)
+	for i, l := range labelKeys {
+		labels[l] = i
+		fmt.Fprintf(&b, "\to%d [label=\"assume %s\" shape=note style=dashed color=orange];\n", i, l)
+	}
+	oblKeys := make([]string, 0, len(g.obls))
+	for k := range g.obls {
+		oblKeys = append(oblKeys, k)
+	}
+	sort.Strings(oblKeys)
+	for _, k := range oblKeys {
+		o := g.obls[k]
+		fmt.Fprintf(&b, "\tc%d -> o%d [label=\"«incomplete»\" style=dashed color=orange];\n",
+			id[o.from], labels[o.label])
 	}
 	b.WriteString("}\n")
 	return b.String()

@@ -1,0 +1,95 @@
+package staticcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report rendering shared by cmd/tesla-check, the examples and the golden
+// tests: one text formatter (the CLI's historical byte format, extended
+// with liveness proof and obligation lines) and one JSON formatter with a
+// stable field order, so editors and CI can diff verdicts across builds.
+
+// WriteText renders one result's text block: the verdict line, then its
+// reasons, liveness proof lines and obligation lines, tab-indented.
+func (res *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", res.Automaton.Name, res.Verdict)
+	for _, reason := range res.Reasons {
+		fmt.Fprintf(w, "\t%s\n", reason)
+	}
+	for _, p := range res.Proof {
+		fmt.Fprintf(w, "\t%s\n", p)
+	}
+	for _, o := range res.Obligations {
+		fmt.Fprintf(w, "\tobligation: %s\n", o.Detail)
+	}
+}
+
+// Summary prints the one-line verdict tally.
+func (r *Report) Summary(w io.Writer) {
+	safe, failing, runtime := r.Counts()
+	fmt.Fprintf(w, "%d assertions: %d provably safe, %d provably failing, %d need runtime checking\n",
+		safe+failing+runtime, safe, failing, runtime)
+}
+
+// WriteText renders the report in tesla-check's text format. With quiet,
+// PROVABLY-SAFE assertions are suppressed. The final summary line is
+// always printed.
+func (r *Report) WriteText(w io.Writer, quiet bool) {
+	for _, res := range r.Results {
+		if quiet && res.Verdict == Safe {
+			continue
+		}
+		res.WriteText(w)
+	}
+	r.Summary(w)
+}
+
+// jsonResult and jsonReport fix the machine-readable field order; struct
+// declaration order is the serialisation order, so goldens are stable.
+type jsonResult struct {
+	Assertion   string       `json:"assertion"`
+	Verdict     string       `json:"verdict"`
+	Liveness    bool         `json:"liveness,omitempty"`
+	Reasons     []string     `json:"reasons,omitempty"`
+	Proof       []string     `json:"proof,omitempty"`
+	Obligations []Obligation `json:"obligations,omitempty"`
+}
+
+type jsonReport struct {
+	Assertions   int          `json:"assertions"`
+	Safe         int          `json:"safe"`
+	Failing      int          `json:"failing"`
+	NeedsRuntime int          `json:"needs_runtime"`
+	Results      []jsonResult `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	safe, failing, runtime := r.Counts()
+	out := jsonReport{
+		Assertions:   safe + failing + runtime,
+		Safe:         safe,
+		Failing:      failing,
+		NeedsRuntime: runtime,
+		Results:      []jsonResult{},
+	}
+	for _, res := range r.Results {
+		out.Results = append(out.Results, jsonResult{
+			Assertion:   res.Automaton.Name,
+			Verdict:     res.Verdict.String(),
+			Liveness:    res.Liveness,
+			Reasons:     res.Reasons,
+			Proof:       res.Proof,
+			Obligations: res.Obligations,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -155,6 +155,72 @@ int main(int x) {
 	}
 }
 
+// TestLivenessGate is the soundness differential for the liveness
+// refinement: every liveness corpus program is built with checking and
+// elision on, then executed across a range of inputs under the real VM
+// and monitor. A liveness-PROVABLY-SAFE assertion must never record a
+// runtime violation — even with its hooks elided the uninstrumented
+// events cannot contradict the proof — and the liveness-Safe programs
+// must actually show elided hooks (the rung is real, not vacuous).
+// Non-Safe programs must show zero elision.
+func TestLivenessGate(t *testing.T) {
+	for _, tc := range livenessPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			sources := map[string]string{tc.name + ".c": tc.src}
+
+			// A full (un-elided) build observes every event, so its
+			// handler is the ground truth the proof is gated against.
+			full, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+				Instrument: true, Check: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			elided, err := toolchain.BuildProgramOpts(sources, toolchain.BuildOptions{
+				Instrument: true, Check: true, Elide: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := elided.Report.Results[0]
+			if res.Verdict != tc.verdict || res.Liveness != tc.liveness {
+				t.Fatalf("toolchain verdict = %s (liveness %v), want %s (liveness %v)",
+					res.Verdict, res.Liveness, tc.verdict, tc.liveness)
+			}
+			if tc.verdict == staticcheck.Safe {
+				if elided.Stats.ElidedHooks == 0 {
+					t.Fatalf("liveness-Safe program elided no hooks: %+v", elided.Stats)
+				}
+			} else if elided.Stats.ElidedHooks != 0 || elided.Stats.ElidedSites != 0 {
+				t.Fatalf("unproved assertion was elided: %+v", elided.Stats)
+			}
+
+			for arg := int64(-3); arg <= 10; arg++ {
+				h := core.NewCountingHandler()
+				_, _, err := full.Run("main", monitor.Options{Handler: h}, arg)
+				if err != nil {
+					if tc.verdict == staticcheck.Safe && len(h.Violations()) > 0 {
+						t.Fatalf("arg %d: SAFE program violated before dying: %v", arg, h.Violations())
+					}
+					continue
+				}
+				if tc.verdict == staticcheck.Safe && len(h.Violations()) > 0 {
+					t.Fatalf("arg %d: liveness-SAFE program reported %d violations",
+						arg, len(h.Violations()))
+				}
+				he := core.NewCountingHandler()
+				if _, _, err := elided.Run("main", monitor.Options{Handler: he}, arg); err != nil {
+					t.Fatalf("arg %d: elided build died where full build ran: %v", arg, err)
+				}
+				if tc.verdict == staticcheck.Safe && len(he.Violations()) > 0 {
+					t.Fatalf("arg %d: elided SAFE build reported %d violations",
+						arg, len(he.Violations()))
+				}
+			}
+		})
+	}
+}
+
 // TestElideRequiresProof makes sure only SAFE automata are elided: the
 // doomed and runtime-dependent assertions keep their instrumentation.
 func TestElideRequiresProof(t *testing.T) {

@@ -64,6 +64,33 @@ func (v Verdict) String() string {
 	}
 }
 
+// Obligation is a structured diagnostic for an undischarged liveness
+// obligation: instead of a bare NEEDS-RUNTIME, the checker names the
+// states that may be left pending, the events that would move them, and
+// the □◇-style fairness assumption under which the assertion would hold.
+// Field order is the stable JSON order consumed by `tesla-check -json`.
+type Obligation struct {
+	// Kind classifies the obligation: "eventually" (an instance may
+	// reach bound exit without completing), "site" (the general instance
+	// may reach the assertion site unable to accept it) or "budget" (the
+	// analysis valve tripped before a proof).
+	Kind string `json:"kind"`
+	// Where is the program point the obligation was recorded at.
+	Where string `json:"where,omitempty"`
+	// Pending are the automaton states that may be stuck.
+	Pending automata.StateSet `json:"pending,omitempty"`
+	// Discharge are the event names that can move a pending state.
+	Discharge []string `json:"discharge,omitempty"`
+	// Fairness is the □◇ assumption over Discharge that closes the gap.
+	Fairness string `json:"fairness,omitempty"`
+	// Detail is the human-readable sentence rendered by tesla-check.
+	Detail string `json:"detail"`
+}
+
+func (o Obligation) id() string {
+	return o.Kind + "|" + o.Where + "|" + o.Fairness + "|" + o.Detail
+}
+
 // Result is the verdict for one automaton, with the reasons that support
 // (or, for NEEDS-RUNTIME, that blocked) the classification.
 type Result struct {
@@ -73,6 +100,16 @@ type Result struct {
 	// checker could not rule out; for FAILING, where the violation is
 	// forced. Sorted and deduplicated.
 	Reasons []string
+	// Liveness marks verdicts decided by the liveness refinement pass
+	// (value-refined product walk) rather than the plain safety pass.
+	Liveness bool
+	// Proof carries the refinement facts a Liveness verdict rests on
+	// (pruned branches, ranked loops). Sorted and deduplicated.
+	Proof []string
+	// Obligations are the structured missing-fairness diagnostics for
+	// NEEDS-RUNTIME verdicts (nil for decided ones). Sorted by kind,
+	// location and assumption.
+	Obligations []Obligation
 
 	graph *productGraph
 }
@@ -134,6 +171,10 @@ type Options struct {
 	// before the checker gives up on an automaton (NEEDS-RUNTIME). Zero
 	// means DefaultMaxConfigs.
 	MaxConfigs int
+	// NoLiveness disables the liveness refinement pass: verdicts come
+	// from the safety pass alone (the pre-refinement behaviour). Used by
+	// the elision benchmark to separate the safety and liveness rungs.
+	NoLiveness bool
 }
 
 // DefaultMaxConfigs is the per-block configuration valve.
@@ -208,12 +249,25 @@ func CheckSources(sources map[string]string, entry string) (*Report, error) {
 	return Check(prog, autos, Options{Entry: entry, DefinedFns: ctx.DefinedFns()}), nil
 }
 
-// sortedReasons normalises a reason set for deterministic output.
+// sortedReasons normalises a reason set for deterministic output. Every
+// reason and proof line the checker emits is routed through here so the
+// CLI (and its golden files) never observe map-iteration order.
 func sortedReasons(set map[string]bool) []string {
 	out := make([]string, 0, len(set))
 	for r := range set {
 		out = append(out, r)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// sortObligations is sortedReasons' structured counterpart: obligations
+// leave the checker ordered by kind, location, assumption and text.
+func sortObligations(set map[string]Obligation) []Obligation {
+	out := make([]Obligation, 0, len(set))
+	for _, o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id() < out[j].id() })
 	return out
 }

@@ -72,6 +72,10 @@ type BuildOptions struct {
 	Elide bool
 	// Entry is the program entry point for the checker; "" means main.
 	Entry string
+	// NoLiveness restricts the checker to the safety pass (no liveness
+	// refinement); mirrors staticcheck.Options.NoLiveness. Used by the
+	// elision benchmark to separate the safety and liveness rungs.
+	NoLiveness bool
 
 	// Jobs bounds the build graph's worker pool; <= 0 means GOMAXPROCS.
 	Jobs int
@@ -109,6 +113,7 @@ func BuildProgramOpts(sources map[string]string, opts BuildOptions) (*Build, err
 		Check:      opts.Check,
 		Elide:      opts.Elide,
 		Entry:      opts.Entry,
+		NoLiveness: opts.NoLiveness,
 		Jobs:       opts.Jobs,
 		Cache:      cache,
 	})
@@ -194,6 +199,7 @@ func BuildSequential(sources map[string]string, opts BuildOptions) (*Build, erro
 		b.Report = staticcheck.Check(prog, b.Autos, staticcheck.Options{
 			Entry:      opts.Entry,
 			DefinedFns: defined,
+			NoLiveness: opts.NoLiveness,
 		})
 	}
 	if opts.Instrument {
