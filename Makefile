@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg
 
-ci: fmt vet build test race check liveness-gate cache-gate chaos-gate fuzz-smoke bench-compare
+ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -95,11 +95,26 @@ chaos-gate:
 bench-faults:
 	$(GO) run ./cmd/tesla-bench -fig faults
 
-# Short fuzz pass over the binary/JSON trace codec and the csub front end
-# ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail
-# `make test` from then on.
+# Fleet-aggregation gate: the in-process fleet smoke under the race
+# detector (concurrent producers, one mid-stream disconnect, exact
+# ingested + dropped == sent accounting) plus the built-binary end-to-end
+# (tesla-agg serve on a unix socket, three tesla-run -agg producers,
+# tesla-agg query).
+agg-gate: build
+	$(GO) test -race -count=1 ./internal/agg
+	$(GO) test -count=1 ./cmd/tesla-agg -run 'TestAggEndToEnd'
+
+# Fleet ingestion throughput ladder (2..16 concurrent producers) with the
+# exact-accounting column asserted per rung.
+bench-agg:
+	$(GO) run ./cmd/tesla-bench -fig agg
+
+# Short fuzz pass over the binary/JSON trace codec, the streaming frame
+# reader and the csub front end ($(FUZZTIME) per target); saved crashers
+# land in testdata/fuzz and fail `make test` from then on.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzFrameStream$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csub -run '^$$' -fuzz '^FuzzCsubParse$$' -fuzztime $(FUZZTIME)
 
 # Store benchmarks, single-mutex reference vs sharded, diffed with benchstat

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tesla/internal/agg"
+)
+
+// TestAggEndToEnd drives the built binaries end to end: a tesla-agg serve
+// process on a unix socket, three tesla-run producers streaming the same
+// violating program with -agg, then tesla-agg query against the live
+// server. The fleet view must show three clean producers with identical
+// event counts and the violation's failure site attributed to all three.
+func TestAggEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{
+		"tesla-agg": filepath.Join(dir, "tesla-agg"),
+		"tesla-run": filepath.Join(dir, "tesla-run"),
+	}
+	for pkg, out := range bins {
+		cmd := exec.Command("go", "build", "-o", out, "tesla/cmd/"+pkg)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, b)
+		}
+	}
+
+	sock := filepath.Join(dir, "agg.sock")
+	srv := exec.Command(bins["tesla-agg"], "serve", "-listen", "unix:"+sock, "-quiet")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	defer func() {
+		srv.Process.Signal(os.Interrupt)
+		srv.Wait()
+	}()
+	waitForSocket(t, sock)
+
+	src := filepath.Join("..", "..", "examples", "trace", "testdata", "doomed.c")
+	for _, proc := range []string{"p1", "p2", "p3"} {
+		run := exec.Command(bins["tesla-run"],
+			"-agg", "unix:"+sock, "-agg-process", proc, "-arg", "7", src)
+		out, err := run.CombinedOutput()
+		// doomed.c violates its assertion: exit 1 is the expected verdict.
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("tesla-run %s: want exit 1, got %v\n%s", proc, err, out)
+		}
+	}
+
+	query := func(args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(bins["tesla-agg"], append([]string{"query", "-addr", "unix:" + sock}, args...)...)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("query %v: %v", args, err)
+		}
+		return out
+	}
+
+	var sum agg.FleetSummary
+	if err := json.Unmarshal(query("fleet"), &sum); err != nil {
+		t.Fatalf("fleet JSON: %v", err)
+	}
+	if sum.CleanProducers != 3 || sum.Disconnected != 0 || len(sum.Producers) != 3 {
+		t.Fatalf("fleet producers: %+v", sum)
+	}
+	first := sum.Producers[0]
+	if first.Events == 0 {
+		t.Fatalf("no events ingested: %+v", first)
+	}
+	for _, ps := range sum.Producers {
+		// Deterministic program, three identical runs: identical streams,
+		// exactly accounted (nothing dropped anywhere on a quiet box, but
+		// the invariant — not the zero — is what must hold).
+		if ps.Events != first.Events {
+			t.Fatalf("producers diverge: %+v vs %+v", ps, first)
+		}
+		if ps.Events+ps.DroppedEvents != ps.SentEvents {
+			t.Fatalf("accounting leak: %+v", ps)
+		}
+	}
+	if sum.TotalEvents != 3*first.Events {
+		t.Fatalf("fleet total %d != 3 * %d", sum.TotalEvents, first.Events)
+	}
+
+	var sites []agg.FailureSite
+	if err := json.Unmarshal(query("failures"), &sites); err != nil {
+		t.Fatalf("failures JSON: %v", err)
+	}
+	if len(sites) == 0 {
+		t.Fatal("violating fleet reports no failure sites")
+	}
+	if sites[0].Total != 3 || len(sites[0].PerProcess) != 3 {
+		t.Fatalf("failure not attributed to all three producers: %+v", sites[0])
+	}
+
+	var hs []agg.FleetHealth
+	if err := json.Unmarshal(query("health"), &hs); err != nil {
+		t.Fatalf("health JSON: %v", err)
+	}
+	if len(hs) == 0 || hs[0].Violations != 3 {
+		t.Fatalf("fleet health: %+v", hs)
+	}
+}
+
+func waitForSocket(t *testing.T, sock string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(sock); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("server socket %s never appeared", sock)
+}

@@ -8,9 +8,16 @@
 // artifacts across runs, and -explain reports which graph nodes were
 // cache hits versus rebuilt.
 //
+// With -agg, the run additionally streams its lifecycle events live to a
+// tesla-agg fleet aggregation server: deltas are cut from the trace rings
+// on an interval (-agg-flush) and sent without ever blocking the monitored
+// program, and the final health counters ride along at exit. -agg implies
+// recording (an in-memory recorder is created when -trace is absent).
+//
 // Usage:
 //
 //	tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-entry main]
+//	          [-agg addr] [-agg-flush dur] [-agg-process name]
 //	          [-j N] [-cache dir] [-explain] [-health] [-failure mode]
 //	          [-overflow policy] [-quarantine-after K] [-rearm N]
 //	          [-arg N]... file.c...
@@ -20,6 +27,8 @@
 // input is wrong), 3 for monitor-internal degradation on an otherwise clean
 // run (the monitor itself hit overflow, quarantine, suppression or handler
 // faults — its verdict is incomplete and must not be trusted as a pass).
+// Aggregation losses count as degradation too: a run whose stream to the
+// fleet dropped frames exits 3 unless a violation (1) outranks it.
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"tesla/internal/agg"
 	"tesla/internal/core"
 	"tesla/internal/monitor"
 	"tesla/internal/toolchain"
@@ -37,12 +48,15 @@ import (
 
 func main() {
 	tool := cli.New("tesla-run",
-		"[-plain] [-failstop] [-debug] [-trace out.tr] [-j N] [-cache dir] [-explain] [-health] [-failure mode] [-overflow policy] [-arg N]... file.c...")
+		"[-plain] [-failstop] [-debug] [-trace out.tr] [-agg addr] [-j N] [-cache dir] [-explain] [-health] [-failure mode] [-overflow policy] [-arg N]... file.c...")
 	plain := flag.Bool("plain", false, "run without instrumentation (Default build)")
 	failstop := flag.Bool("failstop", false, "abort on the first violation")
 	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
 	tracePath := flag.String("trace", "", "record an event trace to this file (.json for JSON, else binary)")
 	traceCap := flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
+	aggAddr := flag.String("agg", "", "stream lifecycle events to a tesla-agg server at this address")
+	aggFlush := flag.Duration("agg-flush", 100*time.Millisecond, "delta flush interval for -agg")
+	aggProcess := flag.String("agg-process", "", "process name reported to -agg (default host:pid)")
 	entry := flag.String("entry", "main", "entry function")
 	shards := flag.Int("shards", 0, "global-store lock stripes (0 = GOMAXPROCS, 1 = single-mutex reference store)")
 	health := flag.Bool("health", false, "print the per-class monitor health report to stderr after the run")
@@ -85,7 +99,7 @@ func main() {
 		RearmEvents:     *rearm,
 	}
 	var rec *trace.Recorder
-	if *tracePath != "" {
+	if *tracePath != "" || *aggAddr != "" {
 		rec = trace.NewRecorder(build.Autos, *traceCap)
 		handler = append(handler, rec)
 		monOpts.Tap = rec
@@ -97,12 +111,34 @@ func main() {
 	}
 	rt.VM.Out = os.Stdout
 
+	// Live fleet streaming: dial before the run so a version rejection or
+	// unreachable server is a usage error (2), not a mid-run surprise.
+	var pub *agg.Publisher
+	var aggClient *agg.Client
+	if *aggAddr != "" {
+		process := *aggProcess
+		if process == "" {
+			host, _ := os.Hostname()
+			process = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		aggClient, err = agg.Dial(*aggAddr, agg.ClientOpts{Tool: "tesla-run", Process: process})
+		if err != nil {
+			tool.FatalCode(2, err)
+		}
+		pub = agg.NewPublisher(rec, aggClient)
+		pub.Start(*aggFlush)
+	}
+
 	ret, runErr := rt.VM.Run(*entry, args...)
 	// The trace is saved on every exit path: an aborted (fail-stop) run's
-	// trace is exactly what shrinking wants.
-	if rec != nil {
+	// trace is exactly what shrinking wants. The fleet stream likewise
+	// finishes on every exit path — final delta, health counters, bye —
+	// before any exit code is chosen, so the fleet view of an aborted run
+	// is complete.
+	if rec != nil && *tracePath != "" {
 		saveTrace(tool, rec, *tracePath)
 	}
+	aggDegraded := finishAgg(pub, aggClient, rt.Monitor)
 	if *health {
 		printHealth(rt.Monitor)
 	}
@@ -119,8 +155,9 @@ func main() {
 	// A clean verdict from a degraded monitor is not a clean verdict: if
 	// any class overflowed, suppressed events, quarantined or lost handler
 	// notifications, report it and exit 3 so scripts can tell "held" from
-	// "couldn't watch".
-	if degradedClasses(rt.Monitor) {
+	// "couldn't watch". Losing part of the fleet stream is the same kind
+	// of incompleteness — the fleet's view of this run cannot be trusted.
+	if degradedClasses(rt.Monitor) || aggDegraded {
 		if !*health { // -health already printed the table above
 			printHealth(rt.Monitor)
 		}
@@ -130,6 +167,36 @@ func main() {
 	if !*plain {
 		fmt.Printf("all %d assertions held\n", len(build.Autos))
 	}
+}
+
+// finishAgg flushes the final delta, ships the health counters and
+// delivers the bye accounting. It reports whether the stream degraded —
+// anything the fleet did not receive and count.
+func finishAgg(pub *agg.Publisher, c *agg.Client, m *monitor.Monitor) bool {
+	if c == nil {
+		return false
+	}
+	degraded := false
+	if err := pub.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "tesla-run: agg: final flush: %v\n", err)
+		degraded = true
+	}
+	if m != nil {
+		if err := c.SendHealth(m.Health()); err != nil {
+			fmt.Fprintf(os.Stderr, "tesla-run: agg: health: %v\n", err)
+			degraded = true
+		}
+	}
+	if err := c.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tesla-run: agg: %v\n", err)
+		degraded = true
+	}
+	if st := c.Stats(); st.Degraded() {
+		fmt.Fprintf(os.Stderr, "tesla-run: agg: stream degraded: dropped %d frame(s) / %d event(s)\n",
+			st.DroppedFrames, st.DroppedEvents)
+		degraded = true
+	}
+	return degraded
 }
 
 // degradedClasses reports whether any class's health counters show lost

@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tesla/internal/automata"
@@ -73,17 +74,46 @@ func cmdShow(args []string) {
 	if fs.NArg() != 1 {
 		usage()
 	}
-	tr := loadTrace(fs.Arg(0))
-	fmt.Printf("trace: format v%d, %d events, %d automata", tr.FormatVersion, len(tr.Events), len(tr.Automata))
-	if tr.Dropped > 0 {
-		fmt.Printf(", %d dropped", tr.Dropped)
+	// Binary traces stream event by event (trace.StreamDecoder), so show
+	// handles traces far larger than memory; JSON traces fall back to a
+	// whole-file load.
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatalCode(2, err)
+	}
+	defer f.Close()
+	sd, err := trace.NewStreamDecoder(f)
+	if err != nil {
+		// Not a binary trace (or corrupt): let the dual-format loader
+		// decide, preserving its diagnostics.
+		tr := loadTrace(fs.Arg(0))
+		showHeader(tr.FormatVersion, len(tr.Events), tr.Automata, tr.Dropped)
+		for i := range tr.Events {
+			fmt.Println(tr.Events[i].String())
+		}
+		return
+	}
+	showHeader(trace.Version, sd.Len(), sd.Automata(), sd.Dropped())
+	for {
+		ev, err := sd.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fatalCode(2, err)
+		}
+		fmt.Println(ev.String())
+	}
+}
+
+func showHeader(version, events int, automata []string, dropped uint64) {
+	fmt.Printf("trace: format v%d, %d events, %d automata", version, events, len(automata))
+	if dropped > 0 {
+		fmt.Printf(", %d dropped", dropped)
 	}
 	fmt.Println()
-	for i, name := range tr.Automata {
+	for i, name := range automata {
 		fmt.Printf("  automaton %d: %s\n", i, name)
-	}
-	for i := range tr.Events {
-		fmt.Println(tr.Events[i].String())
 	}
 }
 

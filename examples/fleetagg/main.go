@@ -1,0 +1,157 @@
+// Command fleetagg demonstrates fleet-scale trace aggregation: an
+// in-process tesla-agg server receives live event streams from three
+// monitored runs of the same program — two with inputs that satisfy its
+// assertion, one with an input that violates it — and the fleet queries
+// answer "which assertion failed where" with per-process attribution,
+// without collecting or replaying a single trace file.
+//
+//	go run ./examples/fleetagg
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tesla/internal/agg"
+	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/toolchain"
+	"tesla/internal/trace"
+)
+
+func main() {
+	dir := "examples/fleetagg/testdata"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := demo(os.Stdout, dir); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetagg demo:", err)
+		os.Exit(1)
+	}
+}
+
+// fleet is the simulated population: three processes running the same
+// program with different inputs. gated.c only passes its security check
+// for positive arguments, so web-1 and web-2 hold and batch-9 violates.
+var fleet = []struct {
+	process string
+	arg     int64
+}{
+	{"web-1", 7},
+	{"web-2", 11},
+	{"batch-9", -3},
+}
+
+// demo builds gated.c once, streams each fleet member's run to an
+// in-process aggregation server, then prints the fleet queries. Runs are
+// sequential and the store seeded, so the output is deterministic and the
+// golden test can pin it byte for byte.
+func demo(w io.Writer, dir string) error {
+	src, err := os.ReadFile(filepath.Join(dir, "gated.c"))
+	if err != nil {
+		return err
+	}
+	build, err := toolchain.BuildProgram(map[string]string{"gated.c": string(src)}, true)
+	if err != nil {
+		return err
+	}
+
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("fleetagg-%d.sock", os.Getpid()))
+	defer os.Remove(sock)
+	ln, err := agg.Listen(sock)
+	if err != nil {
+		return err
+	}
+	store := agg.NewStore(agg.StoreOpts{Seed: 1})
+	srv := agg.NewServer(store, agg.ServerOpts{})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	for _, m := range fleet {
+		violations, events, err := runProducer(build, sock, m.process, m.arg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.process, err)
+		}
+		fmt.Fprintf(w, "%-8s main(%d): %d event(s) streamed, %d violation(s)\n",
+			m.process, m.arg, events, violations)
+	}
+
+	// Wait until every bye has been read and accounted; the streams are
+	// local, so this settles immediately.
+	for store.Fleet().CleanProducers < len(fleet) {
+		time.Sleep(time.Millisecond)
+	}
+
+	sum := store.Fleet()
+	fmt.Fprintf(w, "\nfleet: %d producer(s), %d event(s) ingested, %d dropped anywhere\n",
+		len(sum.Producers), sum.TotalEvents,
+		sum.DroppedEvents+sum.ClientDropped+sum.RingDropped)
+	for _, ps := range sum.Producers {
+		status := "clean"
+		if !ps.Clean {
+			status = "DISCONNECTED"
+		}
+		fmt.Fprintf(w, "  %-8s %-6s ingested=%d sent=%d dropped=%d\n",
+			ps.Process, status, ps.Events, ps.SentEvents, ps.DroppedEvents)
+	}
+
+	fmt.Fprintln(w, "\nwhich assertion failed where:")
+	for _, site := range store.Failures() {
+		fmt.Fprintf(w, "  %s [%s] x%d\n", site.Class, site.Verdict, site.Total)
+		for _, pc := range site.PerProcess {
+			fmt.Fprintf(w, "    %-8s x%d\n", pc.Process, pc.Count)
+		}
+	}
+
+	if sites := store.Failures(); len(sites) > 0 {
+		fmt.Fprintf(w, "\nhottest transitions for %s:\n", sites[0].Class)
+		for _, sc := range store.TopK(sites[0].Class, 3) {
+			fmt.Fprintf(w, "  %-24s x%d\n", sc.Site, sc.Count)
+		}
+	}
+
+	fmt.Fprintln(w, "\nfleet health:")
+	for _, fh := range store.Health() {
+		fmt.Fprintf(w, "  %-24s violations=%d live=%d quarantined=%d\n",
+			fh.Class, fh.Violations, fh.Live, fh.Quarantined)
+	}
+	return nil
+}
+
+// runProducer executes one monitored run with its lifecycle events
+// streamed live to the aggregation server, finishing with the health
+// counters and the bye accounting — the library shape of tesla-run -agg.
+func runProducer(build *toolchain.Build, sock, process string, arg int64) (violations int, events uint64, err error) {
+	client, err := agg.Dial(sock, agg.ClientOpts{Tool: "fleetagg", Process: process})
+	if err != nil {
+		return 0, 0, err
+	}
+	counting := core.NewCountingHandler()
+	rec := trace.NewRecorder(build.Autos, 0)
+	pub := agg.NewPublisher(rec, client)
+	pub.Start(0)
+
+	_, rt, runErr := build.Run("main", monitor.Options{
+		Handler: core.MultiHandler{counting, rec},
+		Tap:     rec,
+	}, arg)
+
+	if err := pub.Stop(); err != nil {
+		return 0, 0, err
+	}
+	if rt != nil && rt.Monitor != nil {
+		if err := client.SendHealth(rt.Monitor.Health()); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := client.Close(); err != nil {
+		return 0, 0, err
+	}
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	return len(counting.Violations()), client.Stats().SentEvents, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestDemoMatchesGolden pins the fleet aggregation pipeline end to end:
+// three live producers, exact per-producer accounting, and the failure
+// attributed to exactly the process whose input breaks the assertion. Run
+// with -update after an intentional format change.
+func TestDemoMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demo(&buf, "testdata"); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	const golden = "testdata/demo.golden"
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("demo output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+
+	// Contract checks independent of formatting: the violating producer is
+	// the only one attributed, and nothing was dropped anywhere.
+	if !strings.Contains(got, "batch-9  x1") {
+		t.Errorf("failure not attributed to batch-9 alone:\n%s", got)
+	}
+	if strings.Contains(got, "web-1    x") || strings.Contains(got, "web-2    x") {
+		t.Errorf("failure wrongly attributed to a passing producer:\n%s", got)
+	}
+	if !strings.Contains(got, "0 dropped anywhere") {
+		t.Errorf("local fleet run reported drops:\n%s", got)
+	}
+	if strings.Contains(got, "DISCONNECTED") {
+		t.Errorf("a producer disconnected:\n%s", got)
+	}
+}

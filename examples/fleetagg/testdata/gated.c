@@ -1,0 +1,24 @@
+/*
+ * A fleet-shaped fixture: whether the run violates depends on its input.
+ * do_work() asserts a prior security_check(x) for its own argument, and
+ * main() only performs that check when x is positive — so a process run
+ * with a positive argument passes and one run with a non-positive
+ * argument violates. Three producers with different arguments give the
+ * fleet aggregator a mixed population to attribute.
+ */
+
+int security_check(int x) {
+	return 0;
+}
+
+int do_work(int x) {
+	TESLA_WITHIN(main, previously(security_check(x)));
+	return x;
+}
+
+int main(int x) {
+	if (x > 0) {
+		int r = security_check(x);
+	}
+	return do_work(x);
+}

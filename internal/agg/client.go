@@ -1,0 +1,252 @@
+package agg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"tesla/internal/core"
+	"tesla/internal/trace"
+)
+
+// Client is the producer side of the wire protocol: it streams delta
+// traces to a tesla-agg server without ever blocking the monitored
+// program. Sends enqueue pre-encoded frames into a bounded buffer
+// drained by one writer goroutine; a broken connection is retried with
+// backoff while the buffer absorbs the outage, and when the buffer
+// overflows or retries exhaust, frames are dropped and counted — the
+// monitored process degrades explicitly (exit 3 via Degraded), it never
+// stalls and never lies.
+type Client struct {
+	opts ClientOpts
+
+	frames chan wireFrame
+	done   chan struct{}
+
+	sentFrames    atomic.Uint64
+	sentEvents    atomic.Uint64
+	droppedFrames atomic.Uint64
+	droppedEvents atomic.Uint64
+	ringDropped   atomic.Uint64
+	reconnects    atomic.Uint64
+	byeSent       atomic.Bool
+}
+
+// ClientOpts configures a Client.
+type ClientOpts struct {
+	// Tool and Process identify the producer in the hello frame.
+	Tool    string
+	Process string
+	// Buffer bounds the frames pending while the connection is down or
+	// slow (default 256).
+	Buffer int
+	// Retries bounds reconnection attempts per frame (default 4).
+	Retries int
+	// Backoff is the base reconnect delay, doubled per attempt
+	// (default 50ms).
+	Backoff time.Duration
+}
+
+// ClientStats is a client's self-accounting; Bye ships it to the server.
+type ClientStats struct {
+	SentFrames    uint64
+	SentEvents    uint64
+	DroppedFrames uint64
+	DroppedEvents uint64
+	RingDropped   uint64
+	Reconnects    uint64
+}
+
+// Degraded reports whether the client lost anything: a producer whose
+// run was otherwise clean must exit 3 when this is set.
+func (s ClientStats) Degraded() bool { return s.DroppedFrames|s.DroppedEvents != 0 }
+
+type wireFrame struct {
+	kind    byte
+	payload []byte
+	events  uint64
+}
+
+// Dial connects to a tesla-agg server and completes the handshake
+// synchronously, so version rejections surface immediately as errors
+// naming both sides. The returned client owns the connection.
+func Dial(addr string, opts ClientOpts) (*Client, error) {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 256
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 4
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	c := &Client{
+		opts:   opts,
+		frames: make(chan wireFrame, opts.Buffer),
+		done:   make(chan struct{}),
+	}
+	conn, err := c.handshake(addr)
+	if err != nil {
+		return nil, err
+	}
+	go c.writer(addr, conn)
+	return c, nil
+}
+
+// handshake dials addr, sends the magic and hello, and waits for the ack.
+func (c *Client) handshake(addr string) (net.Conn, error) {
+	network, address := SplitAddr(addr)
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	hello, _ := json.Marshal(Hello{
+		Proto: ProtoVersion, Codec: trace.Version,
+		Tool: c.opts.Tool, Process: c.opts.Process,
+	})
+	fw := trace.NewFrameWriter(conn)
+	if _, err := conn.Write([]byte(Magic)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := fw.Frame(FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	kind, payload, err := trace.NewFrameReader(conn).Next()
+	if err != nil || kind != FrameHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("agg: no hello ack from %s: %v", addr, err)
+	}
+	var ack HelloAck
+	if err := json.Unmarshal(payload, &ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("agg: bad hello ack from %s: %w", addr, err)
+	}
+	if !ack.OK {
+		conn.Close()
+		return nil, fmt.Errorf("agg: %s rejected the connection: %s", addr, ack.Message)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return conn, nil
+}
+
+// SendTrace encodes tr as one trace frame and enqueues it. It never
+// blocks: a full buffer drops the frame, counted.
+func (c *Client) SendTrace(tr *trace.Trace) error {
+	var body bytes.Buffer
+	var prefix [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(prefix[:], uint64(len(tr.Events)))
+	body.Write(prefix[:n])
+	if err := trace.Write(&body, tr); err != nil {
+		return err
+	}
+	c.ringDropped.Add(tr.Dropped)
+	c.enqueue(wireFrame{kind: FrameTrace, payload: body.Bytes(), events: uint64(len(tr.Events))})
+	return nil
+}
+
+// SendHealth enqueues the producer's merged health counters.
+func (c *Client) SendHealth(hs []core.ClassHealth) error {
+	payload, err := json.Marshal(HealthRows(hs))
+	if err != nil {
+		return err
+	}
+	c.enqueue(wireFrame{kind: FrameHealth, payload: payload})
+	return nil
+}
+
+func (c *Client) enqueue(f wireFrame) {
+	select {
+	case c.frames <- f:
+	default:
+		c.droppedFrames.Add(1)
+		c.droppedEvents.Add(f.events)
+	}
+}
+
+// Stats returns the client's accounting so far.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		SentFrames:    c.sentFrames.Load(),
+		SentEvents:    c.sentEvents.Load(),
+		DroppedFrames: c.droppedFrames.Load(),
+		DroppedEvents: c.droppedEvents.Load(),
+		RingDropped:   c.ringDropped.Load(),
+		Reconnects:    c.reconnects.Load(),
+	}
+}
+
+// Close drains the buffer, sends the bye accounting and closes the
+// connection. It returns an error when the bye could not be delivered —
+// the server will see the close as a mid-stream disconnect.
+func (c *Client) Close() error {
+	close(c.frames)
+	<-c.done
+	if !c.byeSent.Load() {
+		return fmt.Errorf("agg: connection lost before final accounting was delivered")
+	}
+	return nil
+}
+
+// writer owns the connection: it drains the frame buffer, reconnecting
+// with exponential backoff on failures, and finishes with the bye frame.
+func (c *Client) writer(addr string, conn net.Conn) {
+	defer close(c.done)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	fw := trace.NewFrameWriter(conn)
+
+	send := func(f wireFrame) bool {
+		for attempt := 0; ; attempt++ {
+			if conn == nil {
+				if attempt >= c.opts.Retries {
+					return false
+				}
+				time.Sleep(c.opts.Backoff << attempt)
+				fresh, err := c.handshake(addr)
+				if err != nil {
+					continue
+				}
+				conn, fw = fresh, trace.NewFrameWriter(fresh)
+				c.reconnects.Add(1)
+			}
+			if err := fw.Frame(f.kind, f.payload); err == nil {
+				return true
+			}
+			conn.Close()
+			conn = nil
+		}
+	}
+
+	for f := range c.frames {
+		if send(f) {
+			c.sentFrames.Add(1)
+			c.sentEvents.Add(f.events)
+		} else {
+			c.droppedFrames.Add(1)
+			c.droppedEvents.Add(f.events)
+		}
+	}
+	// Final accounting. Sent/dropped are complete here: the buffer is
+	// drained and only this goroutine updates the sent side.
+	st := c.Stats()
+	payload, _ := json.Marshal(Bye{
+		SentFrames:          st.SentFrames,
+		SentEvents:          st.SentEvents,
+		ClientDroppedFrames: st.DroppedFrames,
+		ClientDroppedEvents: st.DroppedEvents,
+		RingDropped:         st.RingDropped,
+	})
+	if send(wireFrame{kind: FrameBye, payload: payload}) {
+		c.byeSent.Store(true)
+	}
+}

@@ -1,0 +1,288 @@
+package agg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tesla/internal/trace"
+)
+
+// Server accepts producer and query connections and feeds the Store.
+//
+// Ingestion path per connection: the read loop validates the handshake,
+// then moves trace frames into a bounded queue drained by one worker
+// goroutine. The reader never blocks on aggregation — when the queue is
+// full the frame is dropped and charged to the producer's drop counters
+// (the PR 5 drop-new contract at fleet scope: degradation is explicit,
+// accounted and queryable, never silent, and one slow stripe cannot
+// backpressure the socket into stalling the producer's bye/health
+// control frames).
+//
+// A FrameBye closes the queue and waits for the worker to drain it
+// before recording the producer's accounting, so at the moment a bye is
+// visible, ingested + dropped == sent holds exactly for that producer.
+type Server struct {
+	store *Store
+	opts  ServerOpts
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// ServerOpts configures a Server; the zero value selects the defaults.
+type ServerOpts struct {
+	// Queue bounds each connection's pending trace frames (default 64).
+	Queue int
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// NewServer creates a server over store.
+func NewServer(store *Store, opts ServerOpts) *Server {
+	if opts.Queue <= 0 {
+		opts.Queue = 64
+	}
+	return &Server{store: store, opts: opts, conns: map[net.Conn]struct{}{}}
+}
+
+// Store returns the server's aggregation store.
+func (s *Server) Store() *Store { return s.store }
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// Close-initiated shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// their workers to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// handshakeTimeout bounds how long a connection may dawdle before its
+// hello; it keeps a wedged client from pinning goroutines forever.
+const handshakeTimeout = 30 * time.Second
+
+// handle runs one connection from magic to close.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+
+	var magicBuf [len(Magic)]byte
+	if _, err := io.ReadFull(conn, magicBuf[:]); err != nil || string(magicBuf[:]) != Magic {
+		s.logf("agg: %s: not a TESLAAGG stream", conn.RemoteAddr())
+		return
+	}
+	fr := trace.NewFrameReader(conn)
+	fw := trace.NewFrameWriter(conn)
+
+	kind, payload, err := fr.Next()
+	if err != nil || kind != FrameHello {
+		s.logf("agg: %s: expected hello frame, got kind %d (%v)", conn.RemoteAddr(), kind, err)
+		return
+	}
+	var hello Hello
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		s.logf("agg: %s: bad hello: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if hello.Proto != ProtoVersion || hello.Codec != trace.Version {
+		// Version negotiation: reject at the handshake with both sides'
+		// versions and the producing tool named — an old producer is
+		// never accepted and then killed mid-stream by a codec error.
+		msg := rejectHello(hello)
+		ack, _ := json.Marshal(HelloAck{OK: false, Message: msg, Proto: ProtoVersion, Codec: trace.Version})
+		fw.Frame(FrameHelloAck, ack)
+		s.logf("agg: %s: rejected: %s", conn.RemoteAddr(), msg)
+		return
+	}
+	ack, _ := json.Marshal(HelloAck{OK: true, Proto: ProtoVersion, Codec: trace.Version})
+	if err := fw.Frame(FrameHelloAck, ack); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	if hello.Query {
+		s.serveQueries(fr, fw)
+		return
+	}
+	s.serveProducer(hello, fr)
+}
+
+// serveProducer runs the ingestion loop for one producer connection.
+func (s *Server) serveProducer(hello Hello, fr *trace.FrameReader) {
+	process := hello.Process
+	if process == "" {
+		process = "unnamed"
+	}
+	s.store.Connected(Hello{Process: process, Tool: hello.Tool})
+
+	queue := make(chan []byte, s.opts.Queue)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for payload := range queue {
+			if err := s.store.IngestFrame(process, payload); err != nil {
+				s.logf("%v", err)
+			}
+		}
+	}()
+
+	clean := false
+	drained := false
+loop:
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("agg: %s: read: %v", process, err)
+			}
+			break
+		}
+		switch kind {
+		case FrameTrace:
+			select {
+			case queue <- payload:
+			default:
+				// Queue full: drop-new with exact accounting, from the
+				// event count the producer prefixed onto the frame.
+				s.store.DropFrame(process, FrameEventCount(payload))
+			}
+		case FrameHealth:
+			var rows []HealthRow
+			if err := json.Unmarshal(payload, &rows); err == nil {
+				s.store.MergeHealth(process, rows)
+			}
+		case FrameBye:
+			var bye Bye
+			if err := json.Unmarshal(payload, &bye); err != nil {
+				s.logf("agg: %s: bad bye: %v", process, err)
+				break loop
+			}
+			// Drain before recording: once the bye is visible in a
+			// query, the producer's ingested + dropped == sent exactly.
+			close(queue)
+			<-done
+			drained = true
+			s.store.ByeReceived(process, bye)
+			clean = true
+			break loop
+		default:
+			s.logf("agg: %s: unknown frame kind %d", process, kind)
+		}
+	}
+	if !drained {
+		close(queue)
+		<-done
+	}
+	s.store.Closed(process, clean)
+}
+
+// serveQueries answers query frames until the client goes away.
+func (s *Server) serveQueries(fr *trace.FrameReader, fw *trace.FrameWriter) {
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			return
+		}
+		if kind != FrameQuery {
+			continue
+		}
+		var q Query
+		if err := json.Unmarshal(payload, &q); err != nil {
+			fw.Frame(FrameResult, errJSON(fmt.Errorf("bad query: %w", err)))
+			continue
+		}
+		res, err := s.Answer(q)
+		if err != nil {
+			fw.Frame(FrameResult, errJSON(err))
+			continue
+		}
+		if fw.Frame(FrameResult, res) != nil {
+			return
+		}
+	}
+}
+
+// Answer evaluates one query against the store, returning indented JSON
+// with stable field order.
+func (s *Server) Answer(q Query) ([]byte, error) {
+	var v any
+	switch q.Q {
+	case "", "fleet":
+		v = s.store.Fleet()
+	case "failures":
+		v = s.store.Failures()
+	case "topk":
+		if q.Class == "" {
+			return nil, fmt.Errorf("topk query needs a class")
+		}
+		v = s.store.TopK(q.Class, q.K)
+	case "samples":
+		v = s.store.Samples(q.Class)
+	case "health":
+		v = s.store.Health()
+	default:
+		return nil, fmt.Errorf("unknown query %q (want fleet, failures, topk, samples or health)", q.Q)
+	}
+	return json.MarshalIndent(v, "", "  ")
+}
+
+func errJSON(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}

@@ -1,0 +1,341 @@
+package agg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/maphash"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"tesla/internal/trace"
+)
+
+// Store is the fleet aggregation store: per-(process, class, site)
+// counters over the lifecycle events of every ingested trace frame, plus
+// reservoir samples of the event windows leading into failures, plus the
+// latest health counters each producer reported. It reuses the PR 3
+// stripe pattern: sites hash onto lock stripes so concurrent connection
+// workers aggregate in parallel, and every stripe owns its map and its
+// reservoir RNG outright — no shared mutable state crosses a stripe
+// boundary. Producer bookkeeping (connect/bye/disconnect) is low-rate
+// and lives under one mutex.
+type Store struct {
+	stripes []stripe
+	seed    maphash.Seed
+
+	sampleCap int
+	window    int
+
+	// Fleet ingestion totals. Server-side queue drops are counted here
+	// and per producer; everything else rolls up from the stripes and
+	// producer table at query time.
+	frames        atomic.Uint64
+	events        atomic.Uint64
+	droppedFrames atomic.Uint64
+	droppedEvents atomic.Uint64
+
+	mu    sync.Mutex
+	procs map[string]*producer
+}
+
+// StoreOpts configures a Store; the zero value selects the defaults.
+type StoreOpts struct {
+	// Stripes is the lock-stripe count (rounded up to a power of two;
+	// default 16).
+	Stripes int
+	// SampleCap bounds each failing site's reservoir (default 4).
+	SampleCap int
+	// Window is how many events of leading context a failure sample
+	// keeps (default 8).
+	Window int
+	// Seed seeds the per-stripe reservoir RNGs; a fixed seed plus a
+	// deterministic ingestion order gives byte-stable samples (the
+	// golden-output example relies on this).
+	Seed int64
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	sites map[siteKey]*siteAgg
+	rng   *rand.Rand
+	_     [32]byte // keep neighbouring stripes off one cache line
+}
+
+// siteKey identifies one aggregated cell. Process is part of the key so
+// per-process breakdowns are exact; fleet-wide rollups sum over it at
+// query time (fleet scale here is thousands of processes, not millions
+// of sites, so query-time summation is the simple and correct trade).
+type siteKey struct {
+	process string
+	class   string
+	kind    trace.Kind // KindTransition, KindAccept or KindFail
+	from    uint32
+	to      uint32
+	symbol  string
+	verdict string
+}
+
+type siteAgg struct {
+	count uint64
+	// seen and samples implement reservoir sampling (algorithm R) of
+	// failure windows; both stay zero/nil for non-failure sites.
+	seen    uint64
+	samples []Sample
+}
+
+// Sample is one reservoir-sampled failure: the failing event plus up to
+// Window preceding events from the same frame.
+type Sample struct {
+	Process string        `json:"process"`
+	Events  []trace.Event `json:"events"`
+}
+
+// producer is the per-process accounting record.
+type producer struct {
+	process string
+	tool    string
+
+	connections int  // live connections
+	disconnects int  // connections that ended without a bye
+	clean       bool // at least one bye received
+
+	frames        uint64 // ingested
+	events        uint64
+	droppedFrames uint64 // server-side queue drops
+	droppedEvents uint64
+	ringDropped   uint64 // producer ring losses (summed from frame headers)
+	badFrames     uint64 // frames that failed to decode
+
+	bye    Bye
+	hasBye bool
+
+	health map[string]HealthRow
+}
+
+// NewStore creates a fleet store.
+func NewStore(opts StoreOpts) *Store {
+	n := opts.Stripes
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so stripe selection is a mask.
+	for n&(n-1) != 0 {
+		n++
+	}
+	cap := opts.SampleCap
+	if cap <= 0 {
+		cap = 4
+	}
+	win := opts.Window
+	if win <= 0 {
+		win = 8
+	}
+	s := &Store{
+		stripes:   make([]stripe, n),
+		seed:      maphash.MakeSeed(),
+		sampleCap: cap,
+		window:    win,
+		procs:     map[string]*producer{},
+	}
+	for i := range s.stripes {
+		s.stripes[i].sites = map[siteKey]*siteAgg{}
+		s.stripes[i].rng = rand.New(rand.NewSource(opts.Seed + int64(i)))
+	}
+	return s
+}
+
+func (s *Store) stripeOf(k siteKey) *stripe {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(k.process)
+	h.WriteByte(0)
+	h.WriteString(k.class)
+	h.WriteByte(byte(k.kind))
+	h.WriteString(k.symbol)
+	return &s.stripes[h.Sum64()&uint64(len(s.stripes)-1)]
+}
+
+// IngestTrace aggregates one (delta) trace attributed to process. It is
+// the whole-trace convenience over ingest; the server's per-connection
+// workers use IngestFrame on raw payloads instead.
+func (s *Store) IngestTrace(process string, tr *trace.Trace) {
+	s.ingestEvents(process, tr.Events, tr.Dropped)
+	s.frames.Add(1)
+}
+
+// ingestEvents applies one frame's events, maintaining the trailing
+// window for failure samples. Window context is frame-local: a failure in
+// the first events of a delta carries less context, never wrong context.
+func (s *Store) ingestEvents(process string, events []trace.Event, ringDropped uint64) {
+	win := make([]trace.Event, 0, s.window)
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.KindTransition:
+			s.add(siteKey{process: process, class: ev.Class, kind: ev.Kind,
+				from: ev.From, to: ev.To, symbol: ev.Symbol}, nil)
+		case trace.KindAccept:
+			s.add(siteKey{process: process, class: ev.Class, kind: ev.Kind}, nil)
+		case trace.KindFail:
+			sample := append(append([]trace.Event(nil), win...), *ev)
+			s.add(siteKey{process: process, class: ev.Class, kind: ev.Kind,
+				symbol: ev.Symbol, verdict: ev.Verdict.String()}, sample)
+		}
+		if s.window > 0 {
+			if len(win) == s.window {
+				copy(win, win[1:])
+				win = win[:s.window-1]
+			}
+			win = append(win, *ev)
+		}
+	}
+	s.events.Add(uint64(len(events)))
+
+	s.mu.Lock()
+	p := s.proc(process)
+	p.frames++
+	p.events += uint64(len(events))
+	p.ringDropped += ringDropped
+	s.mu.Unlock()
+}
+
+// add bumps one site, feeding the failure reservoir when a sample is
+// attached.
+func (s *Store) add(k siteKey, sample []trace.Event) {
+	st := s.stripeOf(k)
+	st.mu.Lock()
+	a := st.sites[k]
+	if a == nil {
+		a = &siteAgg{}
+		st.sites[k] = a
+	}
+	a.count++
+	if sample != nil {
+		a.seen++
+		if len(a.samples) < s.sampleCap {
+			a.samples = append(a.samples, Sample{Process: k.process, Events: sample})
+		} else if j := st.rng.Int63n(int64(a.seen)); int(j) < s.sampleCap {
+			a.samples[j] = Sample{Process: k.process, Events: sample}
+		}
+	}
+	st.mu.Unlock()
+}
+
+// IngestFrame decodes and aggregates one FrameTrace payload: the event
+// count prefix, then the binary trace. The declared count is the drop-
+// accounting unit; a payload whose decode dies mid-way contributes the
+// events it actually yielded and marks the producer's frame bad.
+func (s *Store) IngestFrame(process string, payload []byte) error {
+	declared, n := binary.Uvarint(payload)
+	if n <= 0 {
+		s.markBadFrame(process)
+		return fmt.Errorf("agg: trace frame missing event-count prefix")
+	}
+	sd, err := trace.NewStreamDecoder(bytes.NewReader(payload[n:]))
+	if err != nil {
+		s.markBadFrame(process)
+		return fmt.Errorf("agg: trace frame from %s: %w", process, err)
+	}
+	events := make([]trace.Event, 0, min(int(declared), 4096))
+	for {
+		ev, err := sd.Next()
+		if err != nil {
+			break // io.EOF, or corruption counted below
+		}
+		events = append(events, ev)
+	}
+	s.ingestEvents(process, events, sd.Dropped())
+	s.frames.Add(1)
+	if uint64(len(events)) != declared {
+		s.markBadFrame(process)
+		return fmt.Errorf("agg: trace frame from %s declared %d events, decoded %d", process, declared, len(events))
+	}
+	return nil
+}
+
+// FrameEventCount reads a FrameTrace payload's declared event count
+// without decoding the trace — what drop accounting charges for a frame
+// the queue rejected.
+func FrameEventCount(payload []byte) uint64 {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return 0
+	}
+	return n
+}
+
+// DropFrame records a server-side queue rejection of a trace frame:
+// counted fleet-wide and against the producer, never silent.
+func (s *Store) DropFrame(process string, events uint64) {
+	s.droppedFrames.Add(1)
+	s.droppedEvents.Add(events)
+	s.mu.Lock()
+	p := s.proc(process)
+	p.droppedFrames++
+	p.droppedEvents += events
+	s.mu.Unlock()
+}
+
+// MergeHealth installs a producer's latest health report. Reports are
+// cumulative per producer, so latest-wins is the correct merge; the
+// fleet rollup sums the latest row of every producer.
+func (s *Store) MergeHealth(process string, rows []HealthRow) {
+	s.mu.Lock()
+	p := s.proc(process)
+	if p.health == nil {
+		p.health = map[string]HealthRow{}
+	}
+	for _, row := range rows {
+		p.health[row.Class] = row
+	}
+	s.mu.Unlock()
+}
+
+// proc returns (creating if needed) a producer record; s.mu must be held.
+func (s *Store) proc(process string) *producer {
+	p := s.procs[process]
+	if p == nil {
+		p = &producer{process: process}
+		s.procs[process] = p
+	}
+	return p
+}
+
+// Connected records a producer connection from the hello handshake.
+func (s *Store) Connected(h Hello) {
+	s.mu.Lock()
+	p := s.proc(h.Process)
+	p.tool = h.Tool
+	p.connections++
+	s.mu.Unlock()
+}
+
+// ByeReceived records a producer's final accounting.
+func (s *Store) ByeReceived(process string, b Bye) {
+	s.mu.Lock()
+	p := s.proc(process)
+	p.bye = b
+	p.hasBye = true
+	p.clean = true
+	s.mu.Unlock()
+}
+
+// Closed records the end of a producer connection; clean reports whether
+// a bye preceded it.
+func (s *Store) Closed(process string, clean bool) {
+	s.mu.Lock()
+	p := s.proc(process)
+	p.connections--
+	if !clean {
+		p.disconnects++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) markBadFrame(process string) {
+	s.mu.Lock()
+	s.proc(process).badFrames++
+	s.mu.Unlock()
+}

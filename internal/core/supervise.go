@@ -162,7 +162,10 @@ func (h Health) Degraded() bool {
 	return h.Overflows|h.Evictions|h.Suppressed|h.Quarantines|h.HandlerPanics != 0
 }
 
-func (h *Health) merge(o Health) {
+// Merge adds o's counters into h. It is how health accounting rolls up
+// across stores within a monitor, and across monitors within a fleet
+// aggregation service.
+func (h *Health) Merge(o Health) {
 	h.Violations += o.Violations
 	h.Overflows += o.Overflows
 	h.Evictions += o.Evictions

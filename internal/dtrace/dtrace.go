@@ -42,6 +42,19 @@ func (a *Aggregation) Count(key string) uint64 {
 	return a.counts[key]
 }
 
+// Snapshot returns a copy of the aggregation's current counts, for
+// differential comparisons (the fleet store's query results are pinned
+// against Summarize through it).
+func (a *Aggregation) Snapshot() map[string]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]uint64, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
+}
+
 // Keys returns all keys, sorted by descending count then name — DTrace's
 // printa ordering.
 func (a *Aggregation) Keys() []string {
@@ -141,11 +154,16 @@ func NewHandler(stack StackFunc) *Handler {
 	}
 }
 
+// Key joins aggregation key components in the canonical dtrace spelling.
+// It is exported so other aggregators (the fleet store) can emit keys that
+// compare byte-for-byte with a Handler's.
+func Key(parts ...string) string { return strings.Join(parts, " @ ") }
+
 func (h *Handler) key(parts ...string) string {
 	if h.Stack != nil {
 		parts = append(parts, h.Stack())
 	}
-	return strings.Join(parts, " @ ")
+	return Key(parts...)
 }
 
 // Transition aggregates per-edge counts (the data behind fig. 9's weights).

@@ -337,7 +337,7 @@ func (m *Monitor) Health() []core.ClassHealth {
 			}
 			out[i].Live += ch.Live
 			out[i].Quarantined = out[i].Quarantined || ch.Quarantined
-			out[i].Health = mergeHealth(out[i].Health, ch.Health)
+			out[i].Health.Merge(ch.Health)
 		}
 	}
 	return out
@@ -351,16 +351,6 @@ func (m *Monitor) Degraded() bool {
 		}
 	}
 	return false
-}
-
-func mergeHealth(a, b core.Health) core.Health {
-	a.Violations += b.Violations
-	a.Overflows += b.Overflows
-	a.Evictions += b.Evictions
-	a.Suppressed += b.Suppressed
-	a.Quarantines += b.Quarantines
-	a.HandlerPanics += b.HandlerPanics
-	return a
 }
 
 // Store exposes the thread's per-thread store (introspection/tests).

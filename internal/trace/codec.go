@@ -9,8 +9,6 @@ import (
 	"math/bits"
 
 	"tesla/internal/core"
-	"tesla/internal/monitor"
-	"tesla/internal/spec"
 )
 
 // Trace files come in two interchangeable encodings sharing one format
@@ -125,96 +123,33 @@ func readJSON(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: bad JSON trace: %w", err)
 	}
 	if t.FormatVersion != Version {
-		return nil, fmt.Errorf("trace: format version %d, this build reads %d", t.FormatVersion, Version)
+		return nil, versionError(uint64(t.FormatVersion))
 	}
 	return &t, nil
 }
 
+// readBinary loads a whole binary trace through the incremental
+// StreamDecoder (stream.go), which owns the wire format.
 func readBinary(br *bufio.Reader) (*Trace, error) {
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
-		return nil, fmt.Errorf("trace: not a trace file (bad magic)")
+	sd, err := NewStreamDecoder(br)
+	if err != nil {
+		return nil, err
 	}
-	dec := &decoder{r: br}
-	if v := dec.uvarint(); dec.err == nil && v != Version {
-		return nil, fmt.Errorf("trace: format version %d, this build reads %d", v, Version)
+	t := &Trace{
+		FormatVersion: Version,
+		Automata:      sd.Automata(),
+		Dropped:       sd.Dropped(),
 	}
-	t := &Trace{FormatVersion: Version}
-	t.Dropped = dec.uvarint()
-	nAutos := dec.uvarint()
-	if dec.err == nil && nAutos > maxTraceEvents {
-		return nil, fmt.Errorf("trace: implausible automata count %d", nAutos)
-	}
-	for i := uint64(0); i < nAutos && dec.err == nil; i++ {
-		t.Automata = append(t.Automata, dec.str())
-	}
-	nEvents := dec.uvarint()
-	if dec.err == nil && nEvents > maxTraceEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", nEvents)
-	}
-	var prevSeq uint64
-	for i := uint64(0); i < nEvents && dec.err == nil; i++ {
-		var ev Event
-		prevSeq += dec.uvarint()
-		ev.Seq = prevSeq
-		ev.Thread = int(dec.varint())
-		ev.Kind = Kind(dec.byte())
-		ev.Time = dec.varint()
-		switch ev.Kind {
-		case KindProgram:
-			ev.Prog = monitor.ProgKind(dec.byte())
-			ev.Fn = dec.str()
-			ev.Field = dec.str()
-			ev.Op = spec.AssignOp(dec.varint())
-			ev.Auto = int(dec.varint())
-			ev.Sym = int(dec.varint())
-			ev.Slot = int(dec.varint())
-			if dec.byte() != 0 {
-				ev.HasRet = true
-				ev.Ret = core.Value(dec.varint())
-			}
-			// Grow element-wise with a small initial capacity: a corrupt
-			// length prefix must cost at most the bytes actually present,
-			// not an upfront make() of the claimed size.
-			if n := dec.uvarint(); n > 0 && dec.err == nil {
-				if n > maxTraceEvents {
-					return nil, fmt.Errorf("trace: implausible value count %d", n)
-				}
-				ev.Vals = make([]core.Value, 0, minU64(n, 64))
-				for j := uint64(0); j < n && dec.err == nil; j++ {
-					ev.Vals = append(ev.Vals, core.Value(dec.varint()))
-				}
-			}
-			if n := dec.uvarint(); n > 0 && dec.err == nil {
-				if n > maxTraceEvents {
-					return nil, fmt.Errorf("trace: implausible instack count %d", n)
-				}
-				ev.InStack = make([]int, 0, minU64(n, 64))
-				for j := uint64(0); j < n && dec.err == nil; j++ {
-					ev.InStack = append(ev.InStack, int(dec.varint()))
-				}
-			}
-		case KindInit, KindClone, KindTransition, KindAccept, KindFail, KindOverflow, KindEvict, KindQuarantine:
-			ev.Class = dec.str()
-			ev.Symbol = dec.str()
-			ev.Key = dec.key()
-			ev.ParentKey = dec.key()
-			ev.From = uint32(dec.uvarint())
-			ev.To = uint32(dec.uvarint())
-			ev.State = uint32(dec.uvarint())
-			ev.Verdict = core.VerdictKind(dec.varint())
-			if ev.Kind == KindQuarantine {
-				ev.On = dec.byte() != 0
-			}
-		default:
-			return nil, fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+	for {
+		ev, err := sd.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		t.Events = append(t.Events, ev)
 	}
-	if dec.err != nil {
-		return nil, fmt.Errorf("trace: truncated or corrupt trace: %w", dec.err)
-	}
-	return t, nil
 }
 
 func minU64(a, b uint64) uint64 {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"reflect"
 	"testing"
 
@@ -77,6 +78,74 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 		if data[0] != '{' && !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 			t.Fatalf("binary encoding not canonical: %x vs %x", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}
+
+// FuzzFrameStream fuzzes the streaming layer the aggregation wire protocol
+// sits on: the frame reader (truncated frames, oversized length prefixes)
+// and the incremental trace decoder inside each trace-kind frame (garbage
+// after the magic, truncated events). Invariants: never panic, never
+// allocate past the declared bounds, and agree with the batch Read on
+// every payload — a frame's trace decodes through StreamDecoder to
+// exactly the events Read yields, or both reject it.
+func FuzzFrameStream(f *testing.F) {
+	var tr bytes.Buffer
+	if err := Write(&tr, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	var stream bytes.Buffer
+	fw := NewFrameWriter(&stream)
+	fw.Frame(1, []byte(`{"proto":1,"codec":1}`))
+	fw.Frame(2, tr.Bytes())
+	fw.Frame(4, nil)
+	f.Add(stream.Bytes())
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // oversized prefix
+	f.Add(append([]byte{2, 12}, "TESLATRCgarb"...))                              // garbage after magic
+	f.Add(stream.Bytes()[:stream.Len()-3])                                       // truncated tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			kind, payload, err := fr.Next()
+			if err != nil {
+				return // rejection (or clean EOF) is fine; panicking is not
+			}
+			if kind != 2 {
+				continue
+			}
+			// Trace frame: streaming and batch decodes must agree.
+			sd, sdErr := NewStreamDecoder(bytes.NewReader(payload))
+			batch, readErr := Read(bytes.NewReader(payload))
+			if (sdErr == nil) != (readErr == nil) && sdErr != nil {
+				// Read may fail later than the header; only a header
+				// acceptance paired with a batch rejection needs the
+				// event-level comparison below to also fail.
+				t.Fatalf("header verdicts diverge: stream=%v read=%v", sdErr, readErr)
+			}
+			if sdErr != nil {
+				continue
+			}
+			var events []Event
+			var nextErr error
+			for {
+				ev, err := sd.Next()
+				if err != nil {
+					nextErr = err
+					break
+				}
+				events = append(events, ev)
+			}
+			if readErr == nil {
+				if nextErr != io.EOF {
+					t.Fatalf("Read accepted but stream errored: %v", nextErr)
+				}
+				if !reflect.DeepEqual(events, batch.Events) && len(batch.Events) > 0 {
+					t.Fatalf("streamed events diverge from Read")
+				}
+			} else if nextErr == io.EOF {
+				t.Fatalf("Read rejected (%v) but stream decoded cleanly", readErr)
+			}
 		}
 	})
 }

@@ -40,9 +40,12 @@ type Recorder struct {
 
 	seq atomic.Uint64
 
-	mu    sync.Mutex // guards sinks (growth) and life
+	mu    sync.Mutex // guards sinks (growth), life and injected
 	life  *ring
 	sinks []*threadSink
+	// injected counts DropFault rejections separately from ring
+	// overwrites, so CutSince can attribute per-cut losses exactly.
+	injected uint64
 }
 
 // threadSink is one thread's ring. Its mutex is uncontended during normal
@@ -120,6 +123,7 @@ func (r *Recorder) lifeEvent(ev Event) {
 	r.mu.Lock()
 	if r.DropFault != nil && r.DropFault() {
 		r.life.dropped++
+		r.injected++
 	} else {
 		r.life.push(ev)
 	}
@@ -193,4 +197,53 @@ func (r *Recorder) Snapshot() *Trace {
 		Dropped:       dropped,
 		Events:        events,
 	}
+}
+
+// Cut is a watermark over every ring of a Recorder, as returned by
+// CutSince. The zero value (or nil) means "the beginning of the run".
+type Cut struct {
+	life     uint64
+	injected uint64
+	sinks    map[*threadSink]uint64
+}
+
+// CutSince returns the events recorded after prev (nil for the start of
+// the run) as a delta trace, plus the new watermark to pass next time.
+// The delta's Dropped field counts only what was lost since prev — ring
+// overwrites of not-yet-cut events and injected drops — so a consumer
+// summing delta lengths and delta Dropped fields accounts for every
+// event the run emitted, exactly once. This is the producer side of live
+// streaming to an aggregation service: flush deltas while the run is
+// hot, with loss explicit, never silent.
+func (r *Recorder) CutSince(prev *Cut) (*Trace, *Cut) {
+	next := &Cut{sinks: map[*threadSink]uint64{}}
+	var prevLife, prevInjected uint64
+	var prevSinks map[*threadSink]uint64
+	if prev != nil {
+		prevLife, prevInjected, prevSinks = prev.life, prev.injected, prev.sinks
+	}
+
+	r.mu.Lock()
+	sinks := append([]*threadSink(nil), r.sinks...)
+	events, dropped := r.life.cutSince(prevLife, nil)
+	next.life = r.life.pushed
+	next.injected = r.injected
+	dropped += r.injected - prevInjected
+	r.mu.Unlock()
+
+	for _, s := range sinks {
+		s.mu.Lock()
+		var lost uint64
+		events, lost = s.ring.cutSince(prevSinks[s], events)
+		next.sinks[s] = s.ring.pushed
+		s.mu.Unlock()
+		dropped += lost
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return &Trace{
+		FormatVersion: Version,
+		Automata:      append([]string(nil), r.names...),
+		Dropped:       dropped,
+		Events:        events,
+	}, next
 }

@@ -10,6 +10,11 @@ type ring struct {
 	start   int // index of the oldest event
 	n       int // live events
 	dropped uint64
+	// pushed counts every event ever pushed, including those since
+	// overwritten: it is the ring's logical write position, which lets a
+	// cut (recorder.CutSince) take exactly the events after a watermark
+	// and account exactly for the ones the ring overwrote in between.
+	pushed uint64
 }
 
 // defaultRingCap bounds each ring when the caller does not choose a size.
@@ -23,6 +28,7 @@ func newRing(capacity int) *ring {
 }
 
 func (r *ring) push(ev Event) {
+	r.pushed++
 	if r.n < len(r.buf) {
 		r.buf[(r.start+r.n)%len(r.buf)] = ev
 		r.n++
@@ -39,4 +45,24 @@ func (r *ring) snapshot(dst []Event) []Event {
 		dst = append(dst, r.buf[(r.start+i)%len(r.buf)])
 	}
 	return dst
+}
+
+// cutSince appends the events pushed after the prevPushed watermark to
+// dst and returns the count of events that were pushed after the
+// watermark but already overwritten — exactly the loss a delta consumer
+// must account for. Push order, not sequence order, defines the
+// watermark, so an event can never land behind a cut and be skipped
+// silently.
+func (r *ring) cutSince(prevPushed uint64, dst []Event) ([]Event, uint64) {
+	oldest := r.pushed - uint64(r.n)
+	from := prevPushed
+	var lost uint64
+	if from < oldest {
+		lost = oldest - from
+		from = oldest
+	}
+	for p := from; p < r.pushed; p++ {
+		dst = append(dst, r.buf[(r.start+int(p-oldest))%len(r.buf)])
+	}
+	return dst, lost
 }
