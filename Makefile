@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg ingest-gate bench-ingest
 
-ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate fuzz-smoke bench-compare
+ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate ingest-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -109,13 +109,35 @@ agg-gate: build
 bench-agg:
 	$(GO) run ./cmd/tesla-bench -fig agg
 
+# Batched-event-plane gate: the schedule-exploring differential parity
+# suites under the race detector. Covers the store-level batch-vs-sequential
+# differential (with injected allocation faults), the monitor-level
+# batched-vs-synchronous parity harness (>=1000 deterministic schedules
+# across batch sizes and thread counts, plus real-goroutine runs), the
+# trace recorder's ProgramBatch accounting/Seq invariants, replay parity
+# over a batched corpus, and the agg producer's exact accounting under a
+# batched monitor.
+ingest-gate:
+	$(GO) test -race -count=1 ./internal/core -run 'TestBatchDifferential'
+	$(GO) test -race -count=1 ./internal/monitor -run 'TestBatchParity|TestBatchGlobal'
+	$(GO) test -race -count=1 ./internal/trace -run 'TestCutSinceProgramBatch|TestProgramBatchSeqInvariant|TestReplayParityBatchedCorpus|TestReplayIgnoresCallerBatchSize'
+	$(GO) test -race -count=1 ./internal/agg -run 'TestAggBatchedProducer'
+
+# Ingest throughput figure: synchronous reference path vs the batched
+# per-thread event plane, with the per-rung noise gate (<=10% trimmed
+# spread over >=5 runs) enforced by the figure itself.
+bench-ingest:
+	$(GO) run ./cmd/tesla-bench -fig ingest
+
 # Short fuzz pass over the binary/JSON trace codec, the streaming frame
-# reader and the csub front end ($(FUZZTIME) per target); saved crashers
-# land in testdata/fuzz and fail `make test` from then on.
+# reader, the csub front end and the batched event plane's flush protocol
+# ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail
+# `make test` from then on.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzFrameStream$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csub -run '^$$' -fuzz '^FuzzCsubParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/monitor -run '^$$' -fuzz '^FuzzBatchFlush$$' -fuzztime $(FUZZTIME)
 
 # Store benchmarks, single-mutex reference vs sharded, diffed with benchstat
 # when it is installed (the benchmark names match across runs by design).

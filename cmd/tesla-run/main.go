@@ -20,7 +20,13 @@
 //	          [-agg addr] [-agg-flush dur] [-agg-process name]
 //	          [-j N] [-cache dir] [-explain] [-health] [-failure mode]
 //	          [-overflow policy] [-quarantine-after K] [-rearm N]
-//	          [-arg N]... file.c...
+//	          [-shards N] [-batch N] [-arg N]... file.c...
+//
+// -batch N switches the monitor to the batched per-thread event plane: each
+// thread stages up to N events in a local ring and applies them to the
+// global store in runs, amortising stripe locking. 0 (the default) keeps
+// the synchronous reference path. Verdicts are identical either way; batch
+// only changes when events are applied, never whether.
 //
 // Exit status distinguishes the three failure layers: 1 for assertion
 // violations (the monitored program is wrong), 2 for build/usage errors (the
@@ -48,7 +54,7 @@ import (
 
 func main() {
 	tool := cli.New("tesla-run",
-		"[-plain] [-failstop] [-debug] [-trace out.tr] [-agg addr] [-j N] [-cache dir] [-explain] [-health] [-failure mode] [-overflow policy] [-arg N]... file.c...")
+		"[-plain] [-failstop] [-debug] [-trace out.tr] [-agg addr] [-j N] [-cache dir] [-explain] [-health] [-failure mode] [-overflow policy] [-shards N] [-batch N] [-arg N]... file.c...")
 	plain := flag.Bool("plain", false, "run without instrumentation (Default build)")
 	failstop := flag.Bool("failstop", false, "abort on the first violation")
 	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
@@ -59,6 +65,7 @@ func main() {
 	aggProcess := flag.String("agg-process", "", "process name reported to -agg (default host:pid)")
 	entry := flag.String("entry", "main", "entry function")
 	shards := flag.Int("shards", 0, "global-store lock stripes (0 = GOMAXPROCS, 1 = single-mutex reference store)")
+	batch := flag.Int("batch", 0, "per-thread event ring size for batched dispatch (0 = synchronous reference path)")
 	health := flag.Bool("health", false, "print the per-class monitor health report to stderr after the run")
 	failureMode := flag.String("failure", "default", "violation action: default, report, stop or callback")
 	overflow := flag.String("overflow", "default", "instance-table overflow policy: default, drop-new, evict-oldest or quarantine")
@@ -93,6 +100,7 @@ func main() {
 	monOpts := monitor.Options{
 		FailFast:        *failstop,
 		GlobalShards:    *shards,
+		BatchSize:       *batch,
 		Failure:         failure,
 		Overflow:        overflowPol,
 		QuarantineAfter: *quarAfter,
@@ -130,6 +138,13 @@ func main() {
 	}
 
 	ret, runErr := rt.VM.Run(*entry, args...)
+	// Process exit is a required-site drain for the batched event plane:
+	// every staged event must reach the store and the trace rings before the
+	// trace is saved, the final agg delta is cut, or any verdict is counted.
+	// A nil monitor (plain build) has nothing staged.
+	if rt.Monitor != nil {
+		rt.Monitor.Drain()
+	}
 	// The trace is saved on every exit path: an aborted (fail-stop) run's
 	// trace is exactly what shrinking wants. The fleet stream likewise
 	// finishes on every exit path — final delta, health counters, bye —

@@ -7,10 +7,14 @@ import (
 	"net"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"tesla/internal/automata"
 	"tesla/internal/core"
+	"tesla/internal/monitor"
+	"tesla/internal/spec"
 	"tesla/internal/trace"
 )
 
@@ -373,5 +377,115 @@ func TestClientReconnect(t *testing.T) {
 		if ps.Process == "bouncy" && ps.Events+ps.DroppedEvents != ps.SentEvents {
 			t.Fatalf("reconnect accounting leak: %+v", ps)
 		}
+	}
+}
+
+// mustCompile builds one automaton for the batched-producer e2e.
+func mustCompile(t *testing.T, name, src string) *automata.Automaton {
+	t.Helper()
+	a, err := spec.Parse(name, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := automata.Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auto
+}
+
+// TestAggBatchedProducer runs the real producer stack — batched monitor
+// threads staging into trace rings, the publisher cutting live deltas with
+// CutSince while events fly — against an in-process server, and checks that
+// the exact-accounting invariant survives batching: per producer,
+// ingested + dropped == sent, and every event the recorder assigned a
+// sequence number to is either ingested or charged to a drop counter
+// (client, server or ring). Tiny rings plus a pre-publisher burst force a
+// known-nonzero ring loss, so the loss path is exercised, not just zero.
+func TestAggBatchedProducer(t *testing.T) {
+	for _, bs := range []int{1, 7, 64} {
+		t.Run(fmt.Sprintf("batch%d", bs), func(t *testing.T) {
+			srv, sock := startServer(t, ServerOpts{})
+			autos := []*automata.Automaton{mustCompile(t, "a1", `TESLA_SYSCALL_PREVIOUSLY(chk(x) == 0)`)}
+			rec := trace.NewRecorder(autos, 64)
+			m := monitor.MustNew(monitor.Options{Handler: rec, Tap: rec, BatchSize: bs}, autos...)
+			c, err := Dial(sock, ClientOpts{Tool: "agg-test", Process: "batchy"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pub := NewPublisher(rec, c)
+
+			// Overrun the ring before the first cut: the stream must open
+			// with explicit loss, not silence.
+			burst := m.NewThread()
+			for i := 0; i < 100; i++ {
+				burst.Call("chk", core.Value(i))
+			}
+			burst.Flush()
+			pub.Start(time.Millisecond)
+
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				th := m.NewThread()
+				wg.Add(1)
+				go func(th *monitor.Thread, g int) {
+					defer wg.Done()
+					for r := 0; r < 150; r++ {
+						v := core.Value(g*1000 + r)
+						th.Call("amd64_syscall")
+						th.Call("chk", v)
+						th.Return("chk", 0, v)
+						th.Site("a1", v)
+						th.Return("amd64_syscall", 0)
+						if r%17 == 0 {
+							th.Flush()
+						}
+					}
+				}(th, g)
+			}
+			wg.Wait()
+			// Process exit: drain the staged rings, then finish the stream —
+			// final delta, health ride-along, bye — as tesla-run does.
+			if err := m.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if err := pub.Stop(); err != nil {
+				t.Fatalf("final flush: %v", err)
+			}
+			if err := c.SendHealth(m.Health()); err != nil {
+				t.Fatalf("health: %v", err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			recorded := rec.EventCount()
+
+			store := srv.Store()
+			waitFor(t, "batched producer clean", func() bool {
+				for _, ps := range store.Fleet().Producers {
+					if ps.Process == "batchy" && ps.Clean {
+						return true
+					}
+				}
+				return false
+			})
+			for _, ps := range store.Fleet().Producers {
+				if ps.Process != "batchy" {
+					continue
+				}
+				if ps.Events+ps.DroppedEvents != ps.SentEvents {
+					t.Fatalf("batch %d: accounting leak: ingested %d + dropped %d != sent %d",
+						bs, ps.Events, ps.DroppedEvents, ps.SentEvents)
+				}
+				if ps.RingDropped == 0 {
+					t.Fatalf("batch %d: burst past ring capacity reported no ring loss", bs)
+				}
+				got := ps.Events + ps.DroppedEvents + ps.ClientDropped + ps.RingDropped
+				if got != recorded {
+					t.Fatalf("batch %d: conservation leak: ingested %d + server-dropped %d + client-dropped %d + ring-lost %d != recorded %d",
+						bs, ps.Events, ps.DroppedEvents, ps.ClientDropped, ps.RingDropped, recorded)
+				}
+			}
+		})
 	}
 }

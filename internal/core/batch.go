@@ -1,0 +1,158 @@
+package core
+
+// Batched ingestion. UpdateState costs one full lock round-trip per event; at
+// millions of events per second the monitor's dispatch plane stages matched
+// symbols per thread and applies them here in runs, amortising stripe
+// acquisition and registration lookups across a batch. Semantics are the
+// single-event path's, exactly: ops apply strictly in slice order (no
+// cross-key reordering — the differential harness compares against a
+// reference store fed one op at a time), every op re-plans its lock need
+// under the held stripes, and handler notifications buffer across the whole
+// batch and dispatch once, after every lock is released.
+
+// batchRunMax bounds how many ops one stripe-lock acquisition may cover, so
+// a large batch's union lock set cannot degenerate into holding every stripe
+// for the whole batch and starving concurrent threads.
+const batchRunMax = 64
+
+// BatchOp is one deferred UpdateState call: the class, the driving symbol
+// (name for notifications, flags for required/strict verdicts), the key the
+// event binds and the transition set it can drive.
+type BatchOp struct {
+	Cls    *Class
+	Symbol string
+	Flags  SymbolFlags
+	Key    Key
+	TS     TransitionSet
+}
+
+// UpdateBatch applies ops in order, equivalent to calling UpdateState once
+// per op but with locks amortised across runs: the reference store holds its
+// mutex over the whole batch; the sharded store acquires the union lock set
+// of a lookahead window of same-class ops and applies as many as the held
+// stripes cover, re-planning each op under the locks. The returned error is
+// the first (in op order) fail-stop violation or overflow, matching the
+// error the synchronous path would have returned from that op's UpdateState.
+func (s *Store) UpdateBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if s.nshards > 0 {
+		return s.updateBatchSharded(ops)
+	}
+	return s.updateBatchRef(ops)
+}
+
+// updateBatchRef is the batch path over the single-mutex reference store:
+// one lock round-trip and one notification dispatch for the whole batch.
+func (s *Store) updateBatchRef(ops []BatchOp) error {
+	var nb noteBuf
+	var firstErr error
+	s.lock()
+	for i := range ops {
+		op := &ops[i]
+		cs := s.classes[op.Cls]
+		if cs == nil {
+			s.unlock()
+			s.Register(op.Cls)
+			s.lock()
+			cs = s.classes[op.Cls]
+		}
+		if err := s.updateRefLocked(cs, op.Symbol, op.Flags, op.Key, op.TS, &nb); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.unlock()
+	s.dispatch(&nb)
+	return firstErr
+}
+
+// batchNeed is one op's full lock requirement: its plan, escalated to every
+// stripe for cleanup ops (which expunge the whole class).
+func (s *Store) batchNeed(sc *shardedClass, op *BatchOp) (set uint64, scan bool) {
+	set, scan = sc.plan(op.Key, op.TS)
+	if op.TS.HasCleanup() {
+		set = sc.allMask()
+	}
+	return set, scan
+}
+
+// updateBatchSharded is the batch path over the lock-striped store. Each
+// outer iteration opens a window: the union of the optimistic lock plans of
+// the next run of same-class ops (capped at batchRunMax). The window's
+// stripes are acquired once — with the same re-plan/escalate loop the
+// single-event path uses for the head op — and ops then apply in order,
+// each re-planning under the held locks; the first op whose need outgrows
+// the held set ends the run and starts the next window. Order is never
+// changed: an op applies exactly when every op before it has.
+func (s *Store) updateBatchSharded(ops []BatchOp) error {
+	var nb noteBuf
+	var firstErr error
+	i := 0
+	for i < len(ops) {
+		sc := s.shardedClassOf(ops[i].Cls)
+		if sc == nil {
+			s.Register(ops[i].Cls)
+			sc = s.shardedClassOf(ops[i].Cls)
+		}
+		if s.shardedQuarGate(sc, &nb) {
+			i++
+			continue
+		}
+
+		set, _ := s.batchNeed(sc, &ops[i])
+		j := i + 1
+		for ; j < len(ops) && j-i < batchRunMax && ops[j].Cls == ops[i].Cls; j++ {
+			ps, _ := s.batchNeed(sc, &ops[j])
+			set |= ps
+		}
+		for tries := 0; ; tries++ {
+			s.lockShards(sc, set)
+			need, _ := s.batchNeed(sc, &ops[i])
+			if need&^set == 0 {
+				break
+			}
+			s.unlockShards(sc, set)
+			if tries >= 1 {
+				set = sc.allMask()
+			} else {
+				set |= need
+			}
+		}
+
+		for i < j {
+			op := &ops[i]
+			if s.shardedQuarGate(sc, &nb) {
+				// Quarantined mid-run (or suppressed); the gate counted
+				// it, skip the op. Safe under the held stripes: quarMu
+				// nests inside stripe locks everywhere.
+				i++
+				continue
+			}
+			need, scan := s.batchNeed(sc, op)
+			if need&^set != 0 {
+				// The run's window no longer covers this op (a mid-run
+				// activation widened its mask set, or a re-arm left a
+				// deferred flush needing every stripe): end the run here
+				// and reacquire.
+				break
+			}
+			if err := s.updateShardedBody(sc, op.Symbol, op.Flags, op.Key, op.TS, &nb, set, scan); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			i++
+		}
+		s.unlockShards(sc, set)
+	}
+	s.dispatch(&nb)
+	return firstErr
+}
+
+// FailStopFor reports whether cls's effective failure action in this store
+// is fail-stop — whether a violation surfaces as an UpdateState error. The
+// monitor's batch plane uses it to decide which staged ops must drain
+// through synchronously so their verdict error surfaces at the event call
+// that caused it.
+func (s *Store) FailStopFor(cls *Class) bool {
+	return s.sv.resolve(cls).failureIn(s) == FailStop
+}

@@ -439,38 +439,49 @@ func (s *Store) updateSharded(sc *shardedClass, symbol string, flags SymbolFlags
 	return err
 }
 
+// shardedQuarGate runs the quarantine fast path for one event: re-arm when
+// due (processing the event normally), otherwise count the suppression and
+// report true so the caller skips the event. Safe both before any stripe lock
+// (the single-event path) and while holding a batch run's stripes — quarMu
+// only ever nests inside stripe locks.
+func (s *Store) shardedQuarGate(sc *shardedClass, nb *noteBuf) bool {
+	if !sc.quarantined.Load() {
+		return false
+	}
+	sc.quarMu.Lock()
+	switch {
+	case !sc.quarantined.Load():
+		// Re-armed by a concurrent event; proceed.
+		sc.quarMu.Unlock()
+	case sc.quar.rearmDue(sc.pol, s.sv.now):
+		sc.quar = quarState{}
+		sc.quarantined.Store(false)
+		nb.add(note{kind: noteQuarantine, cls: sc.cls, on: false})
+		sc.quarMu.Unlock()
+	default:
+		sc.quar.suppressed++
+		sc.health.suppressed.Add(1)
+		sc.quarMu.Unlock()
+		return true
+	}
+	return false
+}
+
 func (s *Store) updateShardedLocked(sc *shardedClass, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf) error {
 	// Quarantine fast path, before any stripe lock. The re-arm check runs
 	// before suppression so the event that brings the class back is itself
 	// processed normally; the physical expunge stays deferred (needsFlush)
 	// until the stripe locks are held below.
-	if sc.quarantined.Load() {
-		sc.quarMu.Lock()
-		switch {
-		case !sc.quarantined.Load():
-			// Re-armed by a concurrent event; proceed.
-			sc.quarMu.Unlock()
-		case sc.quar.rearmDue(sc.pol, s.sv.now):
-			sc.quar = quarState{}
-			sc.quarantined.Store(false)
-			nb.add(note{kind: noteQuarantine, cls: sc.cls, on: false})
-			sc.quarMu.Unlock()
-		default:
-			sc.quar.suppressed++
-			sc.health.suppressed.Add(1)
-			sc.quarMu.Unlock()
-			return nil
-		}
+	if s.shardedQuarGate(sc, nb) {
+		return nil
 	}
-
-	cleanup := ts.HasCleanup()
 
 	// Acquire the planned lock set, then re-plan under the locks: another
 	// thread may have activated an instance whose mask widens the set
 	// between planning and locking. The loop escalates to all stripes
 	// after one miss, so it terminates.
 	set, scan := sc.plan(key, ts)
-	if cleanup {
+	if ts.HasCleanup() {
 		// Cleanup expunges the whole class; take everything up front.
 		set = sc.allMask()
 	}
@@ -489,6 +500,15 @@ func (s *Store) updateShardedLocked(sc *shardedClass, symbol string, flags Symbo
 		}
 	}
 	defer s.unlockShards(sc, set)
+	return s.updateShardedBody(sc, symbol, flags, key, ts, nb, set, scan)
+}
+
+// updateShardedBody is the event body proper, shared by the single-event path
+// above and the batch run loop (batch.go). The caller holds the stripe locks
+// in set, which must cover the event's planned need; scan selects the
+// all-stripes candidate walk.
+func (s *Store) updateShardedBody(sc *shardedClass, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf, set uint64, scan bool) error {
+	cleanup := ts.HasCleanup()
 
 	if sc.needsFlush.Load() && set == sc.allMask() {
 		// Deferred quarantine expunge: plan() escalates to every stripe

@@ -70,6 +70,14 @@ func (s *Store) updateRef(cls *Class, symbol string, flags SymbolFlags, key Key,
 		s.lock()
 		cs = s.classes[cls]
 	}
+	return s.updateRefLocked(cs, symbol, flags, key, ts, nb)
+}
+
+// updateRefLocked is the event body proper, factored out so UpdateBatch can
+// hold the store mutex across a whole run of ops (batch.go). The store lock
+// must be held and cs registered.
+func (s *Store) updateRefLocked(cs *classState, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf) error {
+	cls := cs.cls
 
 	// Quarantine fast path. The re-arm check runs before suppression so
 	// the event that brings the class back is itself processed normally.

@@ -35,6 +35,15 @@ type Options struct {
 	// GOMAXPROCS, 1 selects the single-mutex reference store, ≥2 forces a
 	// stripe count. Per-thread stores are unaffected.
 	GlobalShards int
+	// BatchSize enables the batched per-thread event plane (batch.go):
+	// each Thread stages up to this many program events in a ring and
+	// applies them to the stores in runs, amortising stripe locking and
+	// index lookups. 0 keeps the synchronous path — one store round-trip
+	// per event — which is also the executable differential reference the
+	// parity harness compares batched runs against. Verdict-observing
+	// operations (Health, Drain, fail-stop verdict symbols, trace cuts)
+	// force a flush, so observable verdicts are identical in both modes.
+	BatchSize int
 
 	// Failure is the store-default failure action for classes that leave
 	// Class.Failure at FailDefault (§4.4.2's panic/printf spectrum). The
@@ -94,6 +103,12 @@ type Monitor struct {
 	msgRetIdx map[string][]symRef
 	fieldIdx  map[string][]symRef
 	siteIdx   map[string]symRef
+
+	// failStop records, per automaton, whether its class's effective
+	// failure action is fail-stop — the batch plane drains through on
+	// verdict-bearing ops of exactly these automata so their violation
+	// errors surface at the causing event call.
+	failStop []bool
 
 	// boundSlot maps a Bound (begin/end event pair) to a dense index;
 	// autoBound gives each automaton's bound slot. The four dispatch maps
@@ -194,6 +209,9 @@ func (m *Monitor) add(a *automata.Automaton) error {
 	if _, dup := m.siteIdx[a.Name]; dup {
 		return fmt.Errorf("monitor: duplicate automaton name %q", a.Name)
 	}
+	// Both contexts resolve failure actions against the same option
+	// defaults and FailFast switch, so the global store answers for all.
+	m.failStop = append(m.failStop, m.global.FailStopFor(a.Class))
 
 	bound := a.Spec.Bound
 	boundKey := bound.String()
@@ -280,6 +298,8 @@ type Thread struct {
 	stack []string
 	lazy  lazyState
 	tap   ThreadTap
+	btap  BatchThreadTap // tap's batch extension, when it implements one
+	batch *batchState    // staging ring; nil in synchronous mode
 	clock func() int64
 
 	// StackQuery, when set, answers incallstack queries instead of the
@@ -301,6 +321,12 @@ func (m *Monitor) NewThread() *Thread {
 	if m.opts.Tap != nil {
 		th.tap = m.opts.Tap.ThreadTap(th.id)
 	}
+	if m.opts.BatchSize > 0 {
+		th.batch = newBatchState(m.opts.BatchSize)
+		if bt, ok := th.tap.(BatchThreadTap); ok {
+			th.btap = bt
+		}
+	}
 	for _, a := range m.autos {
 		if a.Spec.Context != spec.Global {
 			th.store.Register(a.Class)
@@ -316,7 +342,13 @@ func (m *Monitor) NewThread() *Thread {
 // per-thread store: one entry per class name, counters summed, Live totalled,
 // Quarantined set if the class is quarantined in any store. Entries are
 // ordered by first appearance (global first, then threads in creation order).
+// Health is a required-site drain: batched threads flush their staged rings
+// first, so the counters reflect every event delivered to the monitor.
+// Deferred fail-stop errors surfaced by that drain are not returned here —
+// they are already counted in the violation totals; use Drain to collect
+// them.
 func (m *Monitor) Health() []core.ClassHealth {
+	m.Drain()
 	m.threadsMu.Lock()
 	stores := make([]*core.Store, 0, 1+len(m.threads))
 	stores = append(stores, m.global)
@@ -387,15 +419,26 @@ func (th *Thread) lazyFor(idx int) (*lazyState, *sync.Mutex) {
 	return &th.lazy, nil
 }
 
+// emit routes one raw program event: synchronous mode taps it (nil-guarded,
+// the zero-cost path); batched mode stages a ring entry for the event's
+// matched ops to attach to. A full ring flushes first, which may surface a
+// deferred fail-stop error — returned here for the entry point to report.
+func (th *Thread) emit(ev ProgramEvent) error {
+	if th.batch == nil {
+		if th.tap != nil {
+			th.tap.ProgramEvent(ev)
+		}
+		return nil
+	}
+	return th.stageEvent(ev)
+}
+
 // Call reports entry into fn with the given arguments: it drives «init»
 // transitions for automata bounded by fn and entry-event symbols naming fn,
 // and pushes fn onto the thread's call stack for incallstack patterns.
 func (th *Thread) Call(fn string, args ...core.Value) error {
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{Kind: ProgCall, Time: th.now(), Fn: fn, Vals: args})
-	}
+	first := th.emit(ProgramEvent{Kind: ProgCall, Time: th.now(), Fn: fn, Vals: args})
 	th.stack = append(th.stack, fn)
-	var first error
 	for _, slot := range th.m.beginCall[fn] {
 		if err := th.boundBegin(slot); err != nil && first == nil {
 			first = err
@@ -419,10 +462,7 @@ func (th *Thread) Call(fn string, args ...core.Value) error {
 // Return reports return from fn: exit-event symbols (which may constrain
 // arguments and the return value) and «cleanup» for automata bounded by fn.
 func (th *Thread) Return(fn string, ret core.Value, args ...core.Value) error {
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{Kind: ProgReturn, Time: th.now(), Fn: fn, Ret: ret, HasRet: true, Vals: args})
-	}
-	var first error
+	first := th.emit(ProgramEvent{Kind: ProgReturn, Time: th.now(), Fn: fn, Ret: ret, HasRet: true, Vals: args})
 	for _, ref := range th.m.retIdx[fn] {
 		if key, ok := matchFunc(ref.sym, args, ret, true, th.m.opts.Memory); ok {
 			if err := th.deliver(ref, key); err != nil && first == nil {
@@ -448,11 +488,8 @@ func (th *Thread) Return(fn string, ret core.Value, args ...core.Value) error {
 
 // Send reports an Objective-C message send (selector with receiver).
 func (th *Thread) Send(selector string, receiver core.Value, args ...core.Value) error {
-	var first error
 	all := append([]core.Value{receiver}, args...)
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{Kind: ProgSend, Time: th.now(), Fn: selector, Vals: all})
-	}
+	first := th.emit(ProgramEvent{Kind: ProgSend, Time: th.now(), Fn: selector, Vals: all})
 	for _, ref := range th.m.msgIdx[selector] {
 		if key, ok := matchFunc(ref.sym, all, 0, false, th.m.opts.Memory); ok {
 			if err := th.deliver(ref, key); err != nil && first == nil {
@@ -465,11 +502,8 @@ func (th *Thread) Send(selector string, receiver core.Value, args ...core.Value)
 
 // SendReturn reports the return of an Objective-C message.
 func (th *Thread) SendReturn(selector string, ret core.Value, receiver core.Value, args ...core.Value) error {
-	var first error
 	all := append([]core.Value{receiver}, args...)
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{Kind: ProgSendReturn, Time: th.now(), Fn: selector, Ret: ret, HasRet: true, Vals: all})
-	}
+	first := th.emit(ProgramEvent{Kind: ProgSendReturn, Time: th.now(), Fn: selector, Ret: ret, HasRet: true, Vals: all})
 	for _, ref := range th.m.msgRetIdx[selector] {
 		if key, ok := matchFunc(ref.sym, all, ret, true, th.m.opts.Memory); ok {
 			if err := th.deliver(ref, key); err != nil && first == nil {
@@ -482,13 +516,10 @@ func (th *Thread) SendReturn(selector string, ret core.Value, receiver core.Valu
 
 // Assign reports a structure-field assignment.
 func (th *Thread) Assign(structName, field string, target core.Value, op spec.AssignOp, value core.Value) error {
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{
-			Kind: ProgAssign, Time: th.now(), Fn: structName, Field: field,
-			Op: op, Vals: []core.Value{target, value},
-		})
-	}
-	var first error
+	first := th.emit(ProgramEvent{
+		Kind: ProgAssign, Time: th.now(), Fn: structName, Field: field,
+		Op: op, Vals: []core.Value{target, value},
+	})
 	for _, ref := range th.m.fieldIdx[structName+"."+field] {
 		if key, ok := matchField(ref.sym, target, op, value, th.m.opts.Memory); ok {
 			if err := th.deliver(ref, key); err != nil && first == nil {
@@ -521,13 +552,14 @@ func (th *Thread) site(autoIdx int, vals []core.Value) error {
 			inStack = append(inStack, s.ID)
 		}
 	}
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{
-			Kind: ProgSite, Time: th.now(), Fn: auto.Name,
-			Auto: autoIdx, Vals: vals, InStack: inStack,
-		})
+	first := th.emit(ProgramEvent{
+		Kind: ProgSite, Time: th.now(), Fn: auto.Name,
+		Auto: autoIdx, Vals: vals, InStack: inStack,
+	})
+	if err := th.siteResolved(autoIdx, inStack, vals); err != nil && first == nil {
+		first = err
 	}
-	return th.siteResolved(autoIdx, inStack, vals)
+	return first
 }
 
 // siteResolved dispatches a site event whose incallstack branches are
@@ -556,13 +588,14 @@ func (th *Thread) SiteResolved(autoIdx int, inStack []int, vals ...core.Value) e
 	if autoIdx < 0 || autoIdx >= len(th.m.autos) {
 		return fmt.Errorf("monitor: automaton index %d out of range", autoIdx)
 	}
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{
-			Kind: ProgSite, Time: th.now(), Fn: th.m.autos[autoIdx].Name,
-			Auto: autoIdx, Vals: vals, InStack: inStack,
-		})
+	first := th.emit(ProgramEvent{
+		Kind: ProgSite, Time: th.now(), Fn: th.m.autos[autoIdx].Name,
+		Auto: autoIdx, Vals: vals, InStack: inStack,
+	})
+	if err := th.siteResolved(autoIdx, inStack, vals); err != nil && first == nil {
+		first = err
 	}
-	return th.siteResolved(autoIdx, inStack, vals)
+	return first
 }
 
 // InStack reports whether fn is on the thread's call stack.
@@ -591,12 +624,10 @@ func (th *Thread) Deliver(autoIdx, symID int, vals ...core.Value) error {
 	if symID < 0 || symID >= len(auto.Symbols) {
 		return fmt.Errorf("monitor: symbol %d out of range for %s", symID, auto.Name)
 	}
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{
-			Kind: ProgDeliver, Time: th.now(), Fn: auto.Name,
-			Auto: autoIdx, Sym: symID, Vals: vals,
-		})
-	}
+	first := th.emit(ProgramEvent{
+		Kind: ProgDeliver, Time: th.now(), Fn: auto.Name,
+		Auto: autoIdx, Sym: symID, Vals: vals,
+	})
 	sym := auto.Symbols[symID]
 	key := core.AnyKey
 	for i, c := range sym.Captures {
@@ -604,7 +635,10 @@ func (th *Thread) Deliver(autoIdx, symID int, vals ...core.Value) error {
 			key = key.Set(c.Slot, vals[i])
 		}
 	}
-	return th.deliver(symRef{idx: autoIdx, sym: sym}, key)
+	if err := th.deliver(symRef{idx: autoIdx, sym: sym}, key); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // SiteByIndex reports reaching automaton autoIdx's assertion site, firing
@@ -628,18 +662,20 @@ func (m *Monitor) AutoIndex(name string) int {
 
 // BoundBegin drives bound-slot entry directly (IR hook entry point).
 func (th *Thread) BoundBegin(slot int) error {
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{Kind: ProgBoundBegin, Time: th.now(), Slot: slot})
+	first := th.emit(ProgramEvent{Kind: ProgBoundBegin, Time: th.now(), Slot: slot})
+	if err := th.boundBegin(slot); err != nil && first == nil {
+		first = err
 	}
-	return th.boundBegin(slot)
+	return first
 }
 
 // BoundEnd drives bound-slot exit directly (IR hook entry point).
 func (th *Thread) BoundEnd(slot int) error {
-	if th.tap != nil {
-		th.tap.ProgramEvent(ProgramEvent{Kind: ProgBoundEnd, Time: th.now(), Slot: slot})
+	first := th.emit(ProgramEvent{Kind: ProgBoundEnd, Time: th.now(), Slot: slot})
+	if err := th.boundEnd(slot); err != nil && first == nil {
+		first = err
 	}
-	return th.boundEnd(slot)
+	return first
 }
 
 // deliver routes a matched event to the automaton's store, materialising a
@@ -663,10 +699,21 @@ func (th *Thread) deliver(ref symRef, key core.Key) error {
 		}
 		if needInit {
 			begin := auto.BoundBegin()
-			if err := store.UpdateState(auto.Class, begin.Name, begin.Flags, core.AnyKey, auto.Trans[begin.ID]); err != nil {
+			if th.batch != nil {
+				// The lazy decision is made at stage time (above, under
+				// the same bookkeeping lock as synchronous mode); the
+				// materialising «init» op stages in order before the
+				// event op that triggered it.
+				if err := th.stageOp(store, core.BatchOp{Cls: auto.Class, Symbol: begin.Name, Flags: begin.Flags, Key: core.AnyKey, TS: auto.Trans[begin.ID]}, th.opDrains(ref.idx, begin.Flags, auto.Trans[begin.ID])); err != nil {
+					return err
+				}
+			} else if err := store.UpdateState(auto.Class, begin.Name, begin.Flags, core.AnyKey, auto.Trans[begin.ID]); err != nil {
 				return err
 			}
 		}
+	}
+	if th.batch != nil {
+		return th.stageOp(store, core.BatchOp{Cls: auto.Class, Symbol: ref.sym.Name, Flags: ref.sym.Flags, Key: key, TS: auto.Trans[ref.sym.ID]}, th.opDrains(ref.idx, ref.sym.Flags, auto.Trans[ref.sym.ID]))
 	}
 	return store.UpdateState(auto.Class, ref.sym.Name, ref.sym.Flags, key, auto.Trans[ref.sym.ID])
 }
@@ -684,7 +731,11 @@ func (th *Thread) boundBegin(slot int) error {
 			}
 			begin := a.BoundBegin()
 			store := th.storeFor(idx)
-			if err := store.UpdateState(a.Class, begin.Name, begin.Flags, core.AnyKey, a.Trans[begin.ID]); err != nil && first == nil {
+			if th.batch != nil {
+				if err := th.stageOp(store, core.BatchOp{Cls: a.Class, Symbol: begin.Name, Flags: begin.Flags, Key: core.AnyKey, TS: a.Trans[begin.ID]}, th.opDrains(idx, begin.Flags, a.Trans[begin.ID])); err != nil && first == nil {
+					first = err
+				}
+			} else if err := store.UpdateState(a.Class, begin.Name, begin.Flags, core.AnyKey, a.Trans[begin.ID]); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -710,6 +761,12 @@ func (th *Thread) boundEnd(slot int) error {
 		a := th.m.autos[idx]
 		end := a.BoundEnd()
 		store := th.storeFor(idx)
+		if th.batch != nil {
+			if err := th.stageOp(store, core.BatchOp{Cls: a.Class, Symbol: end.Name, Flags: end.Flags, Key: core.AnyKey, TS: a.Trans[end.ID]}, th.opDrains(idx, end.Flags, a.Trans[end.ID])); err != nil && first == nil {
+				first = err
+			}
+			return
+		}
 		if err := store.UpdateState(a.Class, end.Name, end.Flags, core.AnyKey, a.Trans[end.ID]); err != nil && first == nil {
 			first = err
 		}

@@ -1,0 +1,113 @@
+package trace_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tesla/internal/core"
+	"tesla/internal/dtrace"
+	"tesla/internal/monitor"
+	"tesla/internal/toolchain"
+	"tesla/internal/trace"
+)
+
+// Replay parity over a batched corpus: a live run whose monitor staged
+// events through the batched plane must record a trace that replays to the
+// live verdicts, exactly as a synchronous run's trace does. The replayer is
+// the reference path (ReplayOpts pins BatchSize to 0), so this closes the
+// loop: batched capture → synchronous replay → identical verdicts.
+
+// recordBatched runs one corpus program live with a batched monitor and
+// returns its trace and verdicts. The post-run Drain is the process-exit
+// required-site flush tesla-run performs before saving a trace.
+func recordBatched(t *testing.T, src string, arg int64, batch int) (*trace.Trace, *toolchain.Build, *core.CountingHandler) {
+	t.Helper()
+	build, err := toolchain.BuildProgram(map[string]string{"prog.c": src}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := core.NewCountingHandler()
+	rec := trace.NewRecorder(build.Autos, 0)
+	_, rt, err := build.Run("main", monitor.Options{
+		Handler:   core.MultiHandler{counting, rec},
+		Tap:       rec,
+		BatchSize: batch,
+	}, arg)
+	if err != nil {
+		t.Fatalf("arg %d: live run failed: %v", arg, err)
+	}
+	if rt.Monitor != nil {
+		if err := rt.Monitor.Drain(); err != nil {
+			t.Fatalf("arg %d: drain: %v", arg, err)
+		}
+	}
+	return rec.Snapshot(), build, counting
+}
+
+// TestReplayParityBatchedCorpus: for every corpus program, input and batch
+// size, the batched live run's verdicts, the synchronous live run's
+// verdicts, and the replay of the batched trace must all agree — violations
+// (class, kind, key, symbol, order), acceptance counts and the offline
+// dtrace summary.
+func TestReplayParityBatchedCorpus(t *testing.T) {
+	for _, tc := range tracePrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, batch := range []int{1, 7, 64} {
+				for arg := int64(-2); arg <= 3; arg++ {
+					syncTr, _, syncLive := record(t, tc.src, arg)
+					batTr, build, batLive := recordBatched(t, tc.src, arg, batch)
+					if batTr.Dropped != 0 {
+						t.Fatalf("batch %d arg %d: %d events dropped", batch, arg, batTr.Dropped)
+					}
+
+					// Live parity: batching must not change the run's verdicts.
+					liveS, liveB := violationSigs(syncLive.Violations()), violationSigs(batLive.Violations())
+					if !reflect.DeepEqual(liveS, liveB) {
+						t.Fatalf("batch %d arg %d: live verdicts differ\nsync:    %v\nbatched: %v",
+							batch, arg, liveS, liveB)
+					}
+
+					// Replay parity: the batched trace reproduces them.
+					res, err := trace.Replay(batTr, build.Autos)
+					if err != nil {
+						t.Fatalf("batch %d arg %d: replay: %v", batch, arg, err)
+					}
+					if !reflect.DeepEqual(res.Signatures(), sigsOf(batLive.Violations())) {
+						t.Fatalf("batch %d arg %d: replayed verdicts differ\nlive:   %v\nreplay: %v",
+							batch, arg, sigsOf(batLive.Violations()), res.Signatures())
+					}
+					for _, a := range build.Autos {
+						if l, r := batLive.Accepts(a.Name), res.Accepts[a.Name]; l != r {
+							t.Fatalf("batch %d arg %d: %s accepts: live %d, replay %d", batch, arg, a.Name, l, r)
+						}
+					}
+
+					// The offline aggregations are order-insensitive, so the
+					// batched and synchronous traces summarise identically
+					// even where cross-ring interleaving shifted Seqs.
+					sb, ss := dtrace.Summarize(batTr), dtrace.Summarize(syncTr)
+					if !reflect.DeepEqual(sb.Transitions.Snapshot(), ss.Transitions.Snapshot()) ||
+						!reflect.DeepEqual(sb.Accepts.Snapshot(), ss.Accepts.Snapshot()) ||
+						!reflect.DeepEqual(sb.Failures.Snapshot(), ss.Failures.Snapshot()) {
+						t.Fatalf("batch %d arg %d: dtrace summaries differ between batched and sync traces", batch, arg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplayIgnoresCallerBatchSize pins the flag-leak guard: replaying with
+// monitor options that request batching (as tesla-trace forwarding a live
+// run's flags wholesale would) must still take the synchronous reference
+// path and reproduce identical verdicts.
+func TestReplayIgnoresCallerBatchSize(t *testing.T) {
+	tr, build, live := recordBatched(t, tracePrograms[0].src, 1, 7)
+	res, err := trace.ReplayOpts(tr, build.Autos, monitor.Options{BatchSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Signatures(), sigsOf(live.Violations())) {
+		t.Fatalf("BatchSize leaked into replay: %v vs %v", res.Signatures(), sigsOf(live.Violations()))
+	}
+}
