@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg ingest-gate bench-ingest
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg ingest-gate bench-ingest compile-gate bench-compile
 
-ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate ingest-gate fuzz-smoke bench-compare
+ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate ingest-gate compile-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -129,8 +129,28 @@ ingest-gate:
 bench-ingest:
 	$(GO) run ./cmd/tesla-bench -fig ingest
 
+# Compiled-engine gate: the schedule-exploring compiled-vs-interpreted
+# differential under the race detector. Covers >=1000 seeded schedules per
+# sweep across the single-mutex reference store and stripe counts 1-16
+# (supervision matrix: overflow policies, quarantine/re-arm, strict and
+# required symbols, resets), the same sweeps under injected allocation
+# failures, the Plan-carrying batch variant, the automaton-level lowering /
+# image round-trip / corrupt-image-rejection suite, and the build graph's
+# per-class engine cache cutoffs.
+compile-gate:
+	$(GO) test -race -count=1 ./internal/core -run 'TestEngineDifferential|TestEngineBatchDifferential|TestTransitionSet|TestInitTransition'
+	$(GO) test -race -count=1 ./internal/automata -run 'TestEngine|TestAttachEngine|TestStepUnifiedContract'
+	$(GO) test -race -count=1 ./internal/build -run 'TestEngineNode|TestAssertionEditRelowersOneClass|TestBodyEditKeepsEngines'
+
+# Compile figure: interpreted transition walk vs the compiled step engines,
+# with the shared noise gate and the >=1.5x single-thread speedup floor
+# enforced by the figure itself.
+bench-compile:
+	$(GO) run ./cmd/tesla-bench -fig compile
+
 # Short fuzz pass over the binary/JSON trace codec, the streaming frame
-# reader, the csub front end and the batched event plane's flush protocol
+# reader, the csub front end, the batched event plane's flush protocol and
+# the compiled-vs-interpreted step differential
 # ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail
 # `make test` from then on.
 fuzz-smoke:
@@ -138,6 +158,7 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzFrameStream$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csub -run '^$$' -fuzz '^FuzzCsubParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/monitor -run '^$$' -fuzz '^FuzzBatchFlush$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzCompiledStep$$' -fuzztime $(FUZZTIME)
 
 # Store benchmarks, single-mutex reference vs sharded, diffed with benchstat
 # when it is installed (the benchmark names match across runs by design).

@@ -312,7 +312,10 @@ int main(int n) { return run(n); }
 }
 
 // BenchmarkVMOverhead compares instrumented vs uninstrumented execution of
-// the same program on the IR interpreter.
+// the same program on the IR interpreter. The instrumented rung runs twice:
+// through the compiled step engines (the default) and pinned to the
+// interpreted transition walk (NoEngine) — the gap between the two is the
+// interpreter tax the engines remove.
 func BenchmarkVMOverhead(b *testing.B) {
 	src := map[string]string{"p.c": `
 int chk(int x) { return 0; }
@@ -329,17 +332,22 @@ int work(int n) {
 }
 int main(int n) { return work(n); }
 `}
-	for _, instrumented := range []bool{false, true} {
-		name := "plain"
-		if instrumented {
-			name = "instrumented"
-		}
-		b.Run(name, func(b *testing.B) {
-			build, err := toolchain.BuildProgram(src, instrumented)
+	rungs := []struct {
+		name         string
+		instrumented bool
+		opts         monitor.Options
+	}{
+		{"plain", false, monitor.Options{}},
+		{"instrumented", true, monitor.Options{}},
+		{"instrumented-noengine", true, monitor.Options{NoEngine: true}},
+	}
+	for _, r := range rungs {
+		b.Run(r.name, func(b *testing.B) {
+			build, err := toolchain.BuildProgram(src, r.instrumented)
 			if err != nil {
 				b.Fatal(err)
 			}
-			rt, err := build.NewRuntime(monitor.Options{})
+			rt, err := build.NewRuntime(r.opts)
 			if err != nil {
 				b.Fatal(err)
 			}

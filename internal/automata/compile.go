@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tesla/internal/core"
 	"tesla/internal/spec"
@@ -37,6 +38,12 @@ type Automaton struct {
 
 	// nfa is retained for equivalence testing (DFA vs NFA acceptance).
 	nfa *nfaGraph
+
+	// engineOnce/engine hold the lazily-lowered StepEngine (engine.go).
+	// The build graph's engine node may install a cached image first via
+	// AttachEngine; otherwise the first Engine() call lowers in place.
+	engineOnce sync.Once
+	engine     *StepEngine
 }
 
 // SymbolByName finds an alphabet symbol by display name, or nil.

@@ -101,19 +101,34 @@ func (a *Automaton) CanCleanup(q uint32) bool {
 	return a.HasMove(q, a.BoundEnd().ID)
 }
 
-// DetStep is the image of set under sym when the event is delivered to an
-// exactly-keyed instance: each state takes its edge if one exists, else
-// stays (libtesla's skip path for irrelevant conditional events).
-func (a *Automaton) DetStep(set StateSet, sym int) StateSet {
+// step is the one walker behind DetStep and CondStep. Both compute the image
+// of set under sym from the same edges; they differ only in what an edge-less
+// or forked source state contributes. With keepAll set every source state
+// stays in the image (the population view: an instance may skip the event or
+// fork a clone that leaves the parent behind); without it only edge-less
+// states stay (the single-instance view: an instance with an edge takes it).
+func (a *Automaton) step(set StateSet, sym int, keepAll bool) StateSet {
 	var out StateSet
+	if keepAll {
+		out = append(StateSet(nil), set...)
+	}
 	for _, q := range set {
-		if to, ok := a.Move(q, sym); ok {
+		to, ok := a.Move(q, sym)
+		switch {
+		case ok:
 			out = out.add(to)
-		} else {
+		case !keepAll:
 			out = out.add(q)
 		}
 	}
 	return out
+}
+
+// DetStep is the image of set under sym when the event is delivered to an
+// exactly-keyed instance: each state takes its edge if one exists, else
+// stays (libtesla's skip path for irrelevant conditional events).
+func (a *Automaton) DetStep(set StateSet, sym int) StateSet {
+	return a.step(set, sym, false)
 }
 
 // CondStep is the overapproximate image of set under sym for a population
@@ -121,13 +136,7 @@ func (a *Automaton) DetStep(set StateSet, sym int) StateSet {
 // event, or fork a clone leaving the parent behind) and every explicit
 // edge target becomes possible.
 func (a *Automaton) CondStep(set StateSet, sym int) StateSet {
-	out := append(StateSet(nil), set...)
-	for _, q := range set {
-		if to, ok := a.Move(q, sym); ok {
-			out = out.add(to)
-		}
-	}
-	return out
+	return a.step(set, sym, true)
 }
 
 // Deterministic reports whether the symbol's event translator delivers on

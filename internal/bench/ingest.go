@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -25,14 +24,11 @@ import (
 // stripe locking, lock planning and handler dispatch per event.
 //
 // Methodology differs from the other throughput figures on purpose: every
-// rung is measured ingestIters times and the figure fails on >10%
-// cross-run noise (trimmed spread: (max−min)/median over the middle three
-// runs), retrying once with a doubled workload before giving up. A batching
-// speedup claim is only as good as the run-to-run stability of the numbers
-// behind it.
+// rung runs under the shared noise gate (noise.go) — measured noiseIters
+// times, best-of reported, failing on >10% trimmed cross-run spread after
+// one retry with a doubled workload.
 
 const (
-	ingestIters    = 7 // per-rung runs; the noise metric keeps the middle 3
 	ingestKeysPerG = 16
 	ingestBatch    = 256
 	ingestShards   = 8
@@ -58,17 +54,18 @@ func ingestAutomaton() (*automata.Automaton, int, error) {
 	return nil, 0, fmt.Errorf("bench: ingest automaton has no prepare symbol")
 }
 
-// FigIngestMeasure drives total pre-matched events through one monitor from
-// g goroutines (one monitor thread each, disjoint key ranges) and returns
-// aggregate events/sec. batch == 0 selects the synchronous reference path.
-// The timed region includes the final drain: the batched plane only gets
-// credit for events the store has actually absorbed.
-func FigIngestMeasure(batch, g, total int) (float64, error) {
+// ingestRun drives total pre-matched events through one monitor from g
+// goroutines (one monitor thread each, disjoint ranges of keysPerG keys)
+// and returns aggregate events/sec. The timed region includes the final
+// drain: the batched plane only gets credit for events the store has
+// actually absorbed. FigCompile shares this body with engine-selecting
+// options.
+func ingestRun(o monitor.Options, g, keysPerG, total int) (float64, error) {
 	auto, symID, err := ingestAutomaton()
 	if err != nil {
 		return 0, err
 	}
-	m, err := monitor.New(monitor.Options{BatchSize: batch, GlobalShards: ingestShards}, auto)
+	m, err := monitor.New(o, auto)
 	if err != nil {
 		return 0, err
 	}
@@ -90,9 +87,9 @@ func FigIngestMeasure(batch, g, total int) (float64, error) {
 		go func(t int) {
 			defer wg.Done()
 			th := ths[t]
-			base := t * ingestKeysPerG
+			base := t * keysPerG
 			for i := 0; i < perG; i++ {
-				th.Deliver(idx, symID, core.Value(base+i%ingestKeysPerG))
+				th.Deliver(idx, symID, core.Value(base+i%keysPerG))
 			}
 		}(t)
 	}
@@ -104,33 +101,17 @@ func FigIngestMeasure(batch, g, total int) (float64, error) {
 	return float64(perG*g) / elapsed.Seconds(), nil
 }
 
-// ingestRung measures one (batch, g) rung ingestIters times and returns the
-// best throughput plus the trimmed relative spread of the middle runs.
+// FigIngestMeasure is one ingest data point: batch == 0 selects the
+// synchronous reference path.
+func FigIngestMeasure(batch, g, total int) (float64, error) {
+	return ingestRun(monitor.Options{BatchSize: batch, GlobalShards: ingestShards}, g, ingestKeysPerG, total)
+}
+
+// ingestRung measures one (batch, g) rung under the shared noise gate.
 func ingestRung(batch, g, total int) (best, noise float64, err error) {
-	// One discarded warm-up heats code and allocator paths; collecting
-	// between runs keeps one measurement's garbage from being charged to
-	// the next (the synchronous plane's per-event dispatch allocates most).
-	if _, err := FigIngestMeasure(batch, g, total/4); err != nil {
-		return 0, 0, err
-	}
-	runs := make([]float64, 0, ingestIters)
-	for i := 0; i < ingestIters; i++ {
-		runtime.GC()
-		v, err := FigIngestMeasure(batch, g, total)
-		if err != nil {
-			return 0, 0, err
-		}
-		runs = append(runs, v)
-	}
-	sort.Float64s(runs)
-	best = runs[len(runs)-1]
-	// The noise statistic is the relative spread of the middle three runs:
-	// outlier runs (scheduler preemption, a GC landing mid-measurement) are
-	// trimmed symmetrically rather than widening the spread they caused.
-	lo := (len(runs) - 3) / 2
-	trimmed := runs[lo : lo+3]
-	noise = (trimmed[2] - trimmed[0]) / trimmed[1]
-	return best, noise, nil
+	return noiseRung(total, func(n int) (float64, error) {
+		return FigIngestMeasure(batch, g, n)
+	})
 }
 
 // FigIngest prints aggregate events/sec for the synchronous and batched
@@ -146,7 +127,7 @@ func FigIngest(w io.Writer, iters int) error {
 
 	fmt.Fprintln(w, "Figure ingest: monitor event ingest, synchronous vs batched event plane")
 	fmt.Fprintf(w, "  (batch ring %d, %d stripes, %d keys/goroutine, best of %d runs, middle-3 noise <= 10%%)\n",
-		ingestBatch, ingestShards, ingestKeysPerG, ingestIters)
+		ingestBatch, ingestShards, ingestKeysPerG, noiseIters)
 	fmt.Fprintf(w, "  %-12s %14s %14s %10s %16s\n", "goroutines", "sync ev/s", "batched ev/s", "speedup", "noise sync/bat")
 
 	var noisy []string
@@ -160,23 +141,13 @@ func FigIngest(w io.Writer, iters int) error {
 		if err != nil {
 			return err
 		}
-		// One retry with a doubled workload: longer runs average scheduler
-		// jitter out; a rung that stays noisy fails the figure.
-		if syncNoise > 0.10 || batNoise > 0.10 {
-			if b, n, err := ingestRung(0, g, total*2); err == nil && n < syncNoise {
-				if b > syncBest {
-					syncBest = b
-				}
-				syncNoise = n
-			}
-			if b, n, err := ingestRung(ingestBatch, g, total*2); err == nil && n < batNoise {
-				if b > batBest {
-					batBest = b
-				}
-				batNoise = n
-			}
-		}
-		if syncNoise > 0.10 || batNoise > 0.10 {
+		syncBest, syncNoise = noiseRetry(syncBest, syncNoise, total, func(n int) (float64, error) {
+			return FigIngestMeasure(0, g, n)
+		})
+		batBest, batNoise = noiseRetry(batBest, batNoise, total, func(n int) (float64, error) {
+			return FigIngestMeasure(ingestBatch, g, n)
+		})
+		if syncNoise > noiseGate || batNoise > noiseGate {
 			noisy = append(noisy, fmt.Sprintf("g=%d (sync %.1f%%, batched %.1f%%)",
 				g, syncNoise*100, batNoise*100))
 		}

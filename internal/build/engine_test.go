@@ -1,0 +1,134 @@
+package build_test
+
+// Engine-node tests: the per-class engine image sub-cache. A warm build
+// reinstalls every class's compiled engine from disk without lowering; an
+// assertion edit re-lowers exactly the classes whose automata changed. Each
+// build opens a fresh Cache over the same directory, so reuse is always
+// through the disk layer (the cross-process case).
+
+import (
+	"strings"
+	"testing"
+
+	"tesla/internal/build"
+)
+
+// twoAssertions: two files each contributing one automaton class, so the
+// engine node has something to split.
+func twoAssertions() map[string]string {
+	return map[string]string{
+		"lib.c": `
+int checksum(int x) { return x % 97; }
+`,
+		"a.c": `
+int fa(int x) {
+	int c = checksum(x);
+	TESLA_WITHIN(main, previously(checksum(ANY(int)) == 0));
+	return c;
+}
+`,
+		"b.c": `
+int fb(int x) {
+	int c = checksum(x);
+	TESLA_WITHIN(main, previously(checksum(ANY(int)) == 1));
+	return c;
+}
+int main(int x) { return fa(x) + fb(x); }
+`,
+	}
+}
+
+// runDisk builds through a fresh Cache handle over dir.
+func runDisk(t *testing.T, dir string, sources map[string]string) *build.Result {
+	t.Helper()
+	cache, err := build.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := build.Run(sources, build.Options{Instrument: true, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func engineStatus(res *build.Result) build.Status {
+	for _, n := range res.Nodes {
+		if n.ID == "engine" {
+			return n.Status
+		}
+	}
+	return build.StatusFailed
+}
+
+func TestEngineNodeLowersOnce(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := runDisk(t, dir, twoAssertions())
+	if len(cold.Autos) != 2 {
+		t.Fatalf("automata = %d, want 2", len(cold.Autos))
+	}
+	if engineStatus(cold) != build.StatusBuilt {
+		t.Fatalf("cold engine node: %s, want built", engineStatus(cold))
+	}
+	if cold.Engines != (build.EngineStats{Lowered: 2}) {
+		t.Fatalf("cold engines = %+v, want 2 lowered", cold.Engines)
+	}
+
+	warm := runDisk(t, dir, twoAssertions())
+	if engineStatus(warm) != build.StatusDiskHit {
+		t.Fatalf("warm engine node: %s, want disk hit", engineStatus(warm))
+	}
+	if warm.Engines != (build.EngineStats{Reused: 2}) {
+		t.Fatalf("warm engines = %+v, want 2 reused", warm.Engines)
+	}
+	// The reinstalled engines must execute: every automaton has a resident
+	// engine whose plan table covers the alphabet.
+	for _, a := range warm.Autos {
+		e := a.Engine()
+		if e == nil || len(e.Plans) != len(a.Symbols) {
+			t.Fatalf("%s: engine not attached (plans=%v)", a.Name, e)
+		}
+	}
+}
+
+// TestAssertionEditRelowersOneClass: editing one file's assertion changes
+// that class's fingerprint only — the engine node re-runs (its key moved)
+// but reuses the untouched class's image.
+func TestAssertionEditRelowersOneClass(t *testing.T) {
+	dir := t.TempDir()
+	runDisk(t, dir, twoAssertions())
+
+	edited := twoAssertions()
+	edited["b.c"] = strings.Replace(edited["b.c"],
+		"checksum(ANY(int)) == 1", "checksum(ANY(int)) == 2", 1)
+	incr := runDisk(t, dir, edited)
+
+	if engineStatus(incr) != build.StatusBuilt {
+		t.Fatalf("engine node after edit: %s, want built", engineStatus(incr))
+	}
+	if incr.Engines != (build.EngineStats{Lowered: 1, Reused: 1}) {
+		t.Fatalf("engines after edit = %+v, want 1 lowered / 1 reused", incr.Engines)
+	}
+}
+
+// TestBodyEditKeepsEngines: a function-body edit recompiles the file but
+// reproduces the same manifest, so every fingerprint — and the engine
+// node's key — is unchanged; the node disk-hits even though upstream
+// automata were re-decoded.
+func TestBodyEditKeepsEngines(t *testing.T) {
+	dir := t.TempDir()
+	runDisk(t, dir, twoAssertions())
+
+	edited := twoAssertions()
+	edited["lib.c"] = `
+int checksum(int x) { return x % 89; }
+`
+	incr := runDisk(t, dir, edited)
+	if engineStatus(incr) != build.StatusDiskHit {
+		t.Fatalf("engine node after body edit: %s, want disk hit", engineStatus(incr))
+	}
+	if incr.Engines != (build.EngineStats{Reused: 2}) {
+		t.Fatalf("engines after body edit = %+v, want 2 reused", incr.Engines)
+	}
+}

@@ -24,6 +24,22 @@ type BatchOp struct {
 	Flags  SymbolFlags
 	Key    Key
 	TS     TransitionSet
+
+	// Plan, when non-nil, is the op's compiled engine plan (engine.go): the
+	// batch run applies it through the monomorphic engine body instead of
+	// the interpreted walk. It must have been lowered from the same
+	// (Cls, Symbol, Flags, TS); stores built with StoreOpts.NoEngine ignore
+	// it.
+	Plan *SymbolPlan
+}
+
+// batchPlan resolves the engine plan an op applies under in this store: nil
+// when the op carries none or the store is pinned to the interpreted walk.
+func (s *Store) batchPlan(op *BatchOp) *SymbolPlan {
+	if s.noEngine {
+		return nil
+	}
+	return op.Plan
 }
 
 // UpdateBatch applies ops in order, equivalent to calling UpdateState once
@@ -58,7 +74,13 @@ func (s *Store) updateBatchRef(ops []BatchOp) error {
 			s.lock()
 			cs = s.classes[op.Cls]
 		}
-		if err := s.updateRefLocked(cs, op.Symbol, op.Flags, op.Key, op.TS, &nb); err != nil && firstErr == nil {
+		var err error
+		if p := s.batchPlan(op); p != nil {
+			err = s.updateRefEngineLocked(cs, p, op.Key, &nb)
+		} else {
+			err = s.updateRefLocked(cs, op.Symbol, op.Flags, op.Key, op.TS, &nb)
+		}
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -68,8 +90,17 @@ func (s *Store) updateBatchRef(ops []BatchOp) error {
 }
 
 // batchNeed is one op's full lock requirement: its plan, escalated to every
-// stripe for cleanup ops (which expunge the whole class).
+// stripe for cleanup ops (which expunge the whole class). Plan-carrying ops
+// use the compiled plan's hoisted «init» and cleanup instead of rescanning
+// the transition set.
 func (s *Store) batchNeed(sc *shardedClass, op *BatchOp) (set uint64, scan bool) {
+	if p := s.batchPlan(op); p != nil {
+		set, scan = sc.planWith(op.Key, p.initTr())
+		if p.cleanup {
+			set = sc.allMask()
+		}
+		return set, scan
+	}
 	set, scan = sc.plan(op.Key, op.TS)
 	if op.TS.HasCleanup() {
 		set = sc.allMask()
@@ -137,7 +168,13 @@ func (s *Store) updateBatchSharded(ops []BatchOp) error {
 				// and reacquire.
 				break
 			}
-			if err := s.updateShardedBody(sc, op.Symbol, op.Flags, op.Key, op.TS, &nb, set, scan); err != nil && firstErr == nil {
+			var err error
+			if p := s.batchPlan(op); p != nil {
+				err = s.updateShardedEngineBody(sc, p, op.Key, &nb, set, scan)
+			} else {
+				err = s.updateShardedBody(sc, op.Symbol, op.Flags, op.Key, op.TS, &nb, set, scan)
+			}
+			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 			i++

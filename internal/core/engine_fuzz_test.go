@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzCompiledStep feeds fuzzer-chosen event streams through a compiled
+// engine store and the interpreted NoEngine reference and requires identical
+// observable state after every event. Each input byte encodes one event —
+// symbol choice in the low bits, key material in the high bits — so the
+// fuzzer can reach clone chains, strict violations, required-site misses,
+// overflow and cleanup expunges in any order. This is the coverage-guided
+// companion to the seeded sweep in engine_diff_test.go and runs in
+// `make fuzz-smoke`.
+func FuzzCompiledStep(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78})
+	f.Add([]byte{0xc1, 0x02, 0x43, 0x84, 0xc5, 0x06, 0x47, 0x88})
+	f.Add([]byte{0x03, 0x43, 0x83, 0xc3, 0x03, 0x43, 0x83, 0xc3, 0x03})
+
+	enter := TransitionSet{{From: 0, To: 1, Flags: TransInit, KeyMask: 1}}
+	mid := TransitionSet{{From: 1, To: 2, KeyMask: 3}, {From: 2, To: 3, KeyMask: 3}, {From: 3, To: 2, KeyMask: 3}}
+	site := TransitionSet{{From: 2, To: 4, KeyMask: 1}}
+	exit := TransitionSet{{From: 1, To: 7, Flags: TransCleanup}, {From: 2, To: 7, Flags: TransCleanup}, {From: 4, To: 7, Flags: TransCleanup}}
+
+	type symbol struct {
+		name  string
+		flags SymbolFlags
+		ts    TransitionSet
+	}
+	symbols := []symbol{
+		{"enter", 0, enter},
+		{"mid", 0, mid},
+		{"mid", SymStrict, mid},
+		{"site", SymRequired, site},
+		{"exit", 0, exit},
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return
+		}
+		for _, shards := range []int{1, 4} {
+			cls := &Class{Name: "fuzzstep", States: 8, Limit: 6, Overflow: EvictOldest}
+			href := &noteHandler{}
+			heng := &noteHandler{}
+			ref := NewStoreOpts(StoreOpts{Context: Global, Handler: href, Shards: shards, NoEngine: true})
+			eng := NewStoreOpts(StoreOpts{Context: Global, Handler: heng, Shards: shards})
+			ref.Register(cls)
+			eng.Register(cls)
+
+			plans := make([]*SymbolPlan, len(symbols))
+			for i, sym := range symbols {
+				plans[i] = NewSymbolPlan(cls, sym.name, sym.flags, sym.ts)
+			}
+
+			for i, b := range data {
+				sym := int(b) % len(symbols)
+				key := Key{}
+				if b&0x40 != 0 {
+					key = key.Set(0, Value(b>>6))
+				}
+				if b&0x20 != 0 {
+					key = key.Set(1, Value(b>>5&1))
+				}
+				errRef := ref.UpdateStatePlan(plans[sym], key)
+				errEng := eng.UpdateStatePlan(plans[sym], key)
+				if (errRef == nil) != (errEng == nil) {
+					t.Fatalf("byte %d (%#x, shards %d): verdict diverged: interpreted=%v engine=%v",
+						i, b, shards, errRef, errEng)
+				}
+				if lr, le := ref.LiveCount(cls), eng.LiveCount(cls); lr != le {
+					t.Fatalf("byte %d (%#x, shards %d): live diverged: interpreted=%d engine=%d",
+						i, b, shards, lr, le)
+				}
+				if ir, ie := instSet(ref, cls), instSet(eng, cls); !reflect.DeepEqual(ir, ie) {
+					t.Fatalf("byte %d (%#x, shards %d): instances diverged:\ninterpreted: %v\nengine:      %v",
+						i, b, shards, ir, ie)
+				}
+				if nr, ne := href.sorted(), heng.sorted(); !reflect.DeepEqual(nr, ne) {
+					t.Fatalf("byte %d (%#x, shards %d): notifications diverged:\ninterpreted: %v\nengine:      %v",
+						i, b, shards, nr, ne)
+				}
+			}
+		}
+	})
+}

@@ -328,6 +328,13 @@ func (sc *shardedClass) expungeLocked() {
 // some live instance binds a slot outside the event's mask, forcing the
 // all-stripes fallback.
 func (sc *shardedClass) plan(key Key, ts TransitionSet) (set uint64, scan bool) {
+	return sc.planWith(key, initTransition(ts))
+}
+
+// planWith is plan with the «init» transition already selected — the
+// compiled-engine path supplies the plan's hoisted init instead of scanning
+// the transition set per event.
+func (sc *shardedClass) planWith(key Key, init *Transition) (set uint64, scan bool) {
 	// A pending quarantine flush needs exclusive ownership.
 	if sc.needsFlush.Load() {
 		return sc.allMask(), true
@@ -349,7 +356,7 @@ func (sc *shardedClass) plan(key Key, ts TransitionSet) (set uint64, scan bool) 
 		}
 	}
 	set = 1 << uint(sc.shardOf(key))
-	if init := initTransition(ts); init != nil {
+	if init != nil {
 		set |= 1 << uint(sc.shardOf(key.project(init.KeyMask)))
 	}
 	for m := uint32(0); m <= keyMaskAll; m++ {
@@ -503,10 +510,109 @@ func (s *Store) updateShardedLocked(sc *shardedClass, symbol string, flags Symbo
 	return s.updateShardedBody(sc, symbol, flags, key, ts, nb, set, scan)
 }
 
+// shardedAllocator builds the sharded store's policy-driven slot claimer as
+// a closure for the interpreted event body below. The compiled engine body
+// (engine.go) calls shardedClaim directly — same policy machinery, no
+// per-event closure allocation.
+func (s *Store) shardedAllocator(sc *shardedClass, nb *noteBuf, failStop bool, firstErr *error, set uint64) func(Key) int32 {
+	return func(k Key) int32 {
+		return s.shardedClaim(sc, nb, failStop, firstErr, set, k)
+	}
+}
+
+// shardedClaim claims one instance slot under the class's overflow policy.
+// It mirrors the reference store's refClaim (update.go) decision for
+// decision, including when the fault injector is consulted, so the
+// differential harness sees identical degradation sequences. Returns the
+// claimed slot or -1 to drop.
+func (s *Store) shardedClaim(sc *shardedClass, nb *noteBuf, failStop bool, firstErr *error, set uint64, k Key) int32 {
+	if sc.quarantined.Load() {
+		// Entered quarantine earlier in this same event (or
+		// concurrently); no further allocation.
+		return -1
+	}
+	slot := int32(-1)
+	if s.sv.allocFail == nil || !s.sv.allocFail(sc.cls) {
+		slot = sc.allocSlot()
+	}
+	if slot < 0 {
+		sc.health.overflows.Add(1)
+		nb.add(note{kind: noteOverflow, cls: sc.cls, key: k})
+		switch sc.pol.overflow {
+		case EvictOldest:
+			if set != sc.allMask() {
+				// Concurrent events consumed the free headroom
+				// plan() justified the partial lock set with; the
+				// victim scan would touch unowned stripes. Degrade
+				// this one allocation to drop-new (the overflow is
+				// already counted above). Sequentially this cannot
+				// happen: plan() takes every stripe whenever the
+				// event alone could exhaust the block or an
+				// injector is armed.
+				break
+			}
+			// The full lock set is held, so the class-wide scan and
+			// deactivation are safe. Same victim rule as the
+			// reference store: oldest same-mask instance first, so
+			// the unkeyed parent (oldest by construction) is only
+			// sacrificed when nothing bound like the newcomer lives.
+			victim, anyVictim := int32(-1), int32(-1)
+			for i := range sc.insts {
+				if !sc.insts[i].Active {
+					continue
+				}
+				if anyVictim < 0 || sc.insts[i].birth < sc.insts[anyVictim].birth {
+					anyVictim = int32(i)
+				}
+				if sc.insts[i].Key.Mask == k.Mask && (victim < 0 || sc.insts[i].birth < sc.insts[victim].birth) {
+					victim = int32(i)
+				}
+			}
+			if victim < 0 {
+				victim = anyVictim
+			}
+			if victim >= 0 {
+				ev := sc.insts[victim]
+				sc.deactivate(victim)
+				sc.health.evictions.Add(1)
+				nb.add(note{kind: noteEvict, cls: sc.cls, inst: ev})
+				if s.sv.allocFail == nil || !s.sv.allocFail(sc.cls) {
+					slot = sc.allocSlot()
+				}
+			}
+		case QuarantineClass:
+			sc.quarMu.Lock()
+			sc.quar.streak++
+			if sc.quar.streak >= sc.pol.quarantineAfter {
+				sc.quar.enter(sc.pol, s.sv.now)
+				sc.quarantined.Store(true)
+				sc.needsFlush.Store(true)
+				sc.health.quarantines.Add(1)
+				nb.add(note{kind: noteQuarantine, cls: sc.cls, on: true})
+			}
+			sc.quarMu.Unlock()
+		}
+	}
+	if slot < 0 {
+		if failStop && *firstErr == nil {
+			*firstErr = ErrOverflow
+		}
+		return -1
+	}
+	if sc.pol.overflow == QuarantineClass {
+		sc.quarMu.Lock()
+		sc.quar.streak = 0
+		sc.quarMu.Unlock()
+	}
+	return slot
+}
+
 // updateShardedBody is the event body proper, shared by the single-event path
 // above and the batch run loop (batch.go). The caller holds the stripe locks
 // in set, which must cover the event's planned need; scan selects the
-// all-stripes candidate walk.
+// all-stripes candidate walk. This is the interpreted (table-driven) walk;
+// the compiled engine body in engine.go replaces its per-event scans with
+// precomputed plans, and the differential gate pins the two equal.
 func (s *Store) updateShardedBody(sc *shardedClass, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf, set uint64, scan bool) error {
 	cleanup := ts.HasCleanup()
 
@@ -530,91 +636,7 @@ func (s *Store) updateShardedBody(sc *shardedClass, symbol string, flags SymbolF
 		}
 	}
 
-	// alloc mirrors the reference store's policy-driven allocation helper
-	// (update.go) decision for decision, including when the fault injector
-	// is consulted, so the differential harness sees identical degradation
-	// sequences. Returns the claimed slot or -1 to drop.
-	alloc := func(k Key) int32 {
-		if sc.quarantined.Load() {
-			// Entered quarantine earlier in this same event (or
-			// concurrently); no further allocation.
-			return -1
-		}
-		slot := int32(-1)
-		if s.sv.allocFail == nil || !s.sv.allocFail(sc.cls) {
-			slot = sc.allocSlot()
-		}
-		if slot < 0 {
-			sc.health.overflows.Add(1)
-			nb.add(note{kind: noteOverflow, cls: sc.cls, key: k})
-			switch sc.pol.overflow {
-			case EvictOldest:
-				if set != sc.allMask() {
-					// Concurrent events consumed the free headroom
-					// plan() justified the partial lock set with; the
-					// victim scan would touch unowned stripes. Degrade
-					// this one allocation to drop-new (the overflow is
-					// already counted above). Sequentially this cannot
-					// happen: plan() takes every stripe whenever the
-					// event alone could exhaust the block or an
-					// injector is armed.
-					break
-				}
-				// The full lock set is held, so the class-wide scan and
-				// deactivation are safe. Same victim rule as the
-				// reference store: oldest same-mask instance first, so
-				// the unkeyed parent (oldest by construction) is only
-				// sacrificed when nothing bound like the newcomer lives.
-				victim, anyVictim := int32(-1), int32(-1)
-				for i := range sc.insts {
-					if !sc.insts[i].Active {
-						continue
-					}
-					if anyVictim < 0 || sc.insts[i].birth < sc.insts[anyVictim].birth {
-						anyVictim = int32(i)
-					}
-					if sc.insts[i].Key.Mask == k.Mask && (victim < 0 || sc.insts[i].birth < sc.insts[victim].birth) {
-						victim = int32(i)
-					}
-				}
-				if victim < 0 {
-					victim = anyVictim
-				}
-				if victim >= 0 {
-					ev := sc.insts[victim]
-					sc.deactivate(victim)
-					sc.health.evictions.Add(1)
-					nb.add(note{kind: noteEvict, cls: sc.cls, inst: ev})
-					if s.sv.allocFail == nil || !s.sv.allocFail(sc.cls) {
-						slot = sc.allocSlot()
-					}
-				}
-			case QuarantineClass:
-				sc.quarMu.Lock()
-				sc.quar.streak++
-				if sc.quar.streak >= sc.pol.quarantineAfter {
-					sc.quar.enter(sc.pol, s.sv.now)
-					sc.quarantined.Store(true)
-					sc.needsFlush.Store(true)
-					sc.health.quarantines.Add(1)
-					nb.add(note{kind: noteQuarantine, cls: sc.cls, on: true})
-				}
-				sc.quarMu.Unlock()
-			}
-		}
-		if slot < 0 {
-			if failStop && firstErr == nil {
-				firstErr = ErrOverflow
-			}
-			return -1
-		}
-		if sc.pol.overflow == QuarantineClass {
-			sc.quarMu.Lock()
-			sc.quar.streak = 0
-			sc.quarMu.Unlock()
-		}
-		return slot
-	}
+	alloc := s.shardedAllocator(sc, nb, failStop, &firstErr, set)
 
 	// Collect the instances live before this event (so clones made below
 	// are not driven by the same event), compatible with its key. With no

@@ -87,6 +87,11 @@ type StoreOpts struct {
 	// HandlerPanicLimit quarantines the notification handler after this
 	// many recovered panics (0 = DefaultHandlerPanicLimit).
 	HandlerPanicLimit int
+	// NoEngine disables the compiled transition engine (engine.go):
+	// UpdateStatePlan and plan-carrying batch ops fall back to the
+	// interpreted table-driven walk, making the store the executable
+	// reference the engine differential harness compares against.
+	NoEngine bool
 	// AllocFail, when non-nil, is consulted before every instance-slot
 	// allocation; returning true forces the allocation to fail as if the
 	// class's block were exhausted. It is the fault-injection seam used
@@ -108,7 +113,9 @@ type Store struct {
 	// nshards == 0 selects the unsharded reference implementation below;
 	// otherwise state lives in the sharded table (shard.go).
 	nshards int
-	classes map[*Class]*classState
+	// noEngine pins this store to the interpreted walk (StoreOpts.NoEngine).
+	noEngine bool
+	classes  map[*Class]*classState
 	// order preserves registration order for deterministic iteration.
 	order []*classState
 	stab  atomic.Pointer[shardTable]
@@ -154,7 +161,7 @@ func NewStoreOpts(o StoreOpts) *Store {
 	if o.Handler == nil {
 		o.Handler = NopHandler{}
 	}
-	s := &Store{context: o.Context}
+	s := &Store{context: o.Context, noEngine: o.NoEngine}
 	s.sv.init(o)
 	s.hv.Store(&handlerCell{h: o.Handler})
 	switch {
@@ -205,6 +212,11 @@ func (s *Store) Shards() int {
 
 // Sharded reports whether the store uses the lock-striped implementation.
 func (s *Store) Sharded() bool { return s.nshards > 0 }
+
+// EngineEnabled reports whether UpdateStatePlan runs compiled engine bodies
+// (false for stores built with StoreOpts.NoEngine, which take the
+// interpreted reference walk instead).
+func (s *Store) EngineEnabled() bool { return !s.noEngine }
 
 // Handler returns the store's notification handler.
 func (s *Store) Handler() Handler { return s.hv.Load().h }

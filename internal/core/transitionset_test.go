@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+// TransitionSet predicate tests: HasInit/HasCleanup and the «init» selection
+// are hoisted into every SymbolPlan at lowering time, so their edge cases —
+// empty sets, several init candidates, cleanup-only sets — are pinned here
+// and cross-checked against the plan's cached answers.
+
+func TestTransitionSetPredicatesEmpty(t *testing.T) {
+	var ts TransitionSet
+	if ts.HasInit() {
+		t.Error("empty set reports HasInit")
+	}
+	if ts.HasCleanup() {
+		t.Error("empty set reports HasCleanup")
+	}
+	if tr := initTransition(ts); tr != nil {
+		t.Errorf("empty set yields init transition %v", tr)
+	}
+	if ts := (TransitionSet{{From: 1, To: 2}}); ts.HasInit() || ts.HasCleanup() || initTransition(ts) != nil {
+		t.Error("plain update edge misclassified")
+	}
+}
+
+func TestInitTransitionFirstCandidateWins(t *testing.T) {
+	ts := TransitionSet{
+		{From: 3, To: 4},
+		{From: 0, To: 1, Flags: TransInit, KeyMask: 1},
+		{From: 0, To: 2, Flags: TransInit, KeyMask: 3},
+	}
+	if !ts.HasInit() {
+		t.Fatal("HasInit false with two init candidates")
+	}
+	tr := initTransition(ts)
+	if tr == nil {
+		t.Fatal("no init transition found")
+	}
+	// The interpreted walk takes the first init in set order; the engine's
+	// hoisted selection must agree or clones land in different start states.
+	if tr != &ts[1] {
+		t.Errorf("initTransition picked %v, want first candidate %v", tr, ts[1])
+	}
+	cls := &Class{Name: "initpick", States: 8}
+	p := NewSymbolPlan(cls, "enter", 0, ts)
+	if !p.HasInit() {
+		t.Error("plan lost the init transition")
+	}
+	if got := p.initTr(); got.To != 1 || got.KeyMask != 1 {
+		t.Errorf("plan hoisted init %v, want first candidate", got)
+	}
+}
+
+func TestTransitionSetCleanupOnly(t *testing.T) {
+	ts := TransitionSet{
+		{From: 2, To: 7, Flags: TransCleanup},
+		{From: 4, To: 7, Flags: TransCleanup},
+	}
+	if ts.HasInit() {
+		t.Error("cleanup-only set reports HasInit")
+	}
+	if !ts.HasCleanup() {
+		t.Error("cleanup-only set misses HasCleanup")
+	}
+	if tr := initTransition(ts); tr != nil {
+		t.Errorf("cleanup-only set yields init transition %v", tr)
+	}
+	cls := &Class{Name: "cleanuponly", States: 8}
+	p := NewSymbolPlan(cls, "exit", 0, ts)
+	if p.HasInit() || !p.HasCleanup() {
+		t.Errorf("plan shape %s, want cleanup without init", p.Shape())
+	}
+}
+
+func TestTransitionSetInitAndCleanupTogether(t *testing.T) {
+	// A one-event bound: the same event opens and finalises an instance.
+	ts := TransitionSet{{From: 0, To: 1, Flags: TransInit | TransCleanup}}
+	if !ts.HasInit() || !ts.HasCleanup() {
+		t.Fatal("combined init+cleanup flags not reported")
+	}
+	if tr := initTransition(ts); tr == nil || !tr.Cleanup() {
+		t.Errorf("initTransition = %v, want the combined edge", tr)
+	}
+}

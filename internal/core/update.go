@@ -73,24 +73,120 @@ func (s *Store) updateRef(cls *Class, symbol string, flags SymbolFlags, key Key,
 	return s.updateRefLocked(cs, symbol, flags, key, ts, nb)
 }
 
+// refQuarGate runs the quarantine fast path for one event over the reference
+// store: re-arm when due (so the event that brings the class back is itself
+// processed normally), otherwise count the suppression and report true so the
+// caller skips the event. The store lock must be held.
+func (s *Store) refQuarGate(cs *classState, nb *noteBuf) bool {
+	if !cs.quarantined {
+		return false
+	}
+	if cs.quar.rearmDue(cs.pol, s.sv.now) {
+		cs.quarantined = false
+		cs.quar = quarState{}
+		nb.add(note{kind: noteQuarantine, cls: cs.cls, on: false})
+		return false
+	}
+	cs.quar.suppressed++
+	cs.health.Suppressed++
+	return true
+}
+
+// refAllocator builds the reference store's policy-driven slot claimer as a
+// closure for the interpreted event body below. The compiled engine body
+// (engine.go) calls refClaim directly — same policy machinery, no per-event
+// closure allocation — so both paths degrade identically.
+func (s *Store) refAllocator(cs *classState, nb *noteBuf, failStop bool, firstErr *error) func(Key) *Instance {
+	return func(k Key) *Instance {
+		return s.refClaim(cs, nb, failStop, firstErr, k)
+	}
+}
+
+// refClaim claims one instance slot under the class's overflow policy. It
+// consults the fault injector first; on overflow it records one Overflow
+// note, then degrades: DropNew drops, EvictOldest sacrifices the oldest
+// instance and retries once (the retry consults the injector again; a second
+// failure drops silently), QuarantineClass counts the streak and past the
+// threshold takes the class out of service. nil means the caller must drop
+// the would-be instance.
+func (s *Store) refClaim(cs *classState, nb *noteBuf, failStop bool, firstErr *error, k Key) *Instance {
+	cls := cs.cls
+	if cs.quarantined {
+		// Entered quarantine earlier in this same event.
+		return nil
+	}
+	var slot *Instance
+	if s.sv.allocFail == nil || !s.sv.allocFail(cls) {
+		slot = cs.alloc()
+	}
+	if slot == nil {
+		cs.health.Overflows++
+		nb.add(note{kind: noteOverflow, cls: cls, key: k})
+		switch cs.pol.overflow {
+		case EvictOldest:
+			// Prefer the oldest victim bound like the incoming
+			// instance: a plain class-wide minimum would sacrifice
+			// the unkeyed parent first (it is the oldest by
+			// construction), killing the clone source for every
+			// later binding in the bound.
+			victim, anyVictim := -1, -1
+			for i := range cs.insts {
+				if !cs.insts[i].Active {
+					continue
+				}
+				if anyVictim < 0 || cs.insts[i].birth < cs.insts[anyVictim].birth {
+					anyVictim = i
+				}
+				if cs.insts[i].Key.Mask == k.Mask && (victim < 0 || cs.insts[i].birth < cs.insts[victim].birth) {
+					victim = i
+				}
+			}
+			if victim < 0 {
+				victim = anyVictim
+			}
+			if victim >= 0 {
+				ev := cs.insts[victim]
+				cs.insts[victim].Active = false
+				cs.live--
+				cs.health.Evictions++
+				nb.add(note{kind: noteEvict, cls: cls, inst: ev})
+				if s.sv.allocFail == nil || !s.sv.allocFail(cls) {
+					slot = cs.alloc()
+				}
+			}
+		case QuarantineClass:
+			cs.quar.streak++
+			if cs.quar.streak >= cs.pol.quarantineAfter {
+				cs.expunge()
+				cs.quarantined = true
+				cs.health.Quarantines++
+				cs.quar.enter(cs.pol, s.sv.now)
+				nb.add(note{kind: noteQuarantine, cls: cls, on: true})
+			}
+		}
+	}
+	if slot == nil {
+		if failStop && *firstErr == nil {
+			*firstErr = ErrOverflow
+		}
+		return nil
+	}
+	cs.quar.streak = 0
+	return slot
+}
+
 // updateRefLocked is the event body proper, factored out so UpdateBatch can
 // hold the store mutex across a whole run of ops (batch.go). The store lock
-// must be held and cs registered.
+// must be held and cs registered. This is the interpreted (table-driven)
+// walk; the compiled engine body in engine.go replaces its linear scans with
+// precomputed plans, and the differential gate pins the two equal.
 func (s *Store) updateRefLocked(cs *classState, symbol string, flags SymbolFlags, key Key, ts TransitionSet, nb *noteBuf) error {
 	cls := cs.cls
 
 	// Quarantine fast path. The re-arm check runs before suppression so
 	// the event that brings the class back is itself processed normally.
-	if cs.quarantined {
-		if cs.quar.rearmDue(cs.pol, s.sv.now) {
-			cs.quarantined = false
-			cs.quar = quarState{}
-			nb.add(note{kind: noteQuarantine, cls: cls, on: false})
-		} else {
-			cs.quar.suppressed++
-			cs.health.Suppressed++
-			return nil
-		}
+	if s.refQuarGate(cs, nb) {
+		return nil
 	}
 
 	var firstErr error
@@ -102,78 +198,7 @@ func (s *Store) updateRefLocked(cs *classState, symbol string, flags SymbolFlags
 			firstErr = v
 		}
 	}
-
-	// alloc claims a slot under the class's overflow policy, consulting
-	// the fault injector first. On overflow it records one Overflow note,
-	// then degrades: DropNew drops, EvictOldest sacrifices the oldest
-	// instance and retries once (the retry consults the injector again; a
-	// second failure drops silently), QuarantineClass counts the streak
-	// and past the threshold takes the class out of service. nil means
-	// the caller must drop the would-be instance.
-	alloc := func(k Key) *Instance {
-		if cs.quarantined {
-			// Entered quarantine earlier in this same event.
-			return nil
-		}
-		var slot *Instance
-		if s.sv.allocFail == nil || !s.sv.allocFail(cls) {
-			slot = cs.alloc()
-		}
-		if slot == nil {
-			cs.health.Overflows++
-			nb.add(note{kind: noteOverflow, cls: cls, key: k})
-			switch cs.pol.overflow {
-			case EvictOldest:
-				// Prefer the oldest victim bound like the incoming
-				// instance: a plain class-wide minimum would sacrifice
-				// the unkeyed parent first (it is the oldest by
-				// construction), killing the clone source for every
-				// later binding in the bound.
-				victim, anyVictim := -1, -1
-				for i := range cs.insts {
-					if !cs.insts[i].Active {
-						continue
-					}
-					if anyVictim < 0 || cs.insts[i].birth < cs.insts[anyVictim].birth {
-						anyVictim = i
-					}
-					if cs.insts[i].Key.Mask == k.Mask && (victim < 0 || cs.insts[i].birth < cs.insts[victim].birth) {
-						victim = i
-					}
-				}
-				if victim < 0 {
-					victim = anyVictim
-				}
-				if victim >= 0 {
-					ev := cs.insts[victim]
-					cs.insts[victim].Active = false
-					cs.live--
-					cs.health.Evictions++
-					nb.add(note{kind: noteEvict, cls: cls, inst: ev})
-					if s.sv.allocFail == nil || !s.sv.allocFail(cls) {
-						slot = cs.alloc()
-					}
-				}
-			case QuarantineClass:
-				cs.quar.streak++
-				if cs.quar.streak >= cs.pol.quarantineAfter {
-					cs.expunge()
-					cs.quarantined = true
-					cs.health.Quarantines++
-					cs.quar.enter(cs.pol, s.sv.now)
-					nb.add(note{kind: noteQuarantine, cls: cls, on: true})
-				}
-			}
-		}
-		if slot == nil {
-			if failStop && firstErr == nil {
-				firstErr = ErrOverflow
-			}
-			return nil
-		}
-		cs.quar.streak = 0
-		return slot
-	}
+	alloc := s.refAllocator(cs, nb, failStop, &firstErr)
 
 	cleanup := ts.HasCleanup()
 

@@ -35,6 +35,13 @@ type Options struct {
 	// GOMAXPROCS, 1 selects the single-mutex reference store, ≥2 forces a
 	// stripe count. Per-thread stores are unaffected.
 	GlobalShards int
+	// NoEngine pins every store (global and per-thread) to the interpreted
+	// table-driven walk instead of the compiled transition engines lowered
+	// from the automata (core.StoreOpts.NoEngine). The interpreted walk is
+	// the executable differential reference the engine parity harness and
+	// the compile figure's baseline rung run on; production monitors leave
+	// this off.
+	NoEngine bool
 	// BatchSize enables the batched per-thread event plane (batch.go):
 	// each Thread stages up to this many program events in a ring and
 	// applies them to the stores in runs, amortising stripe locking and
@@ -73,6 +80,7 @@ func (o Options) storeOpts(ctx core.Context, shards int) core.StoreOpts {
 		Context:           ctx,
 		Handler:           o.Handler,
 		Shards:            shards,
+		NoEngine:          o.NoEngine,
 		Failure:           o.Failure,
 		Overflow:          o.Overflow,
 		QuarantineAfter:   o.QuarantineAfter,
@@ -103,6 +111,12 @@ type Monitor struct {
 	msgRetIdx map[string][]symRef
 	fieldIdx  map[string][]symRef
 	siteIdx   map[string]symRef
+
+	// plans[idx][symID] is automaton idx's compiled engine plan for that
+	// symbol (automata.StepEngine lowering): every dispatch path routes
+	// events through these, and the stores fall back to the interpreted
+	// walk when built with Options.NoEngine.
+	plans [][]*core.SymbolPlan
 
 	// failStop records, per automaton, whether its class's effective
 	// failure action is fail-stop — the batch plane drains through on
@@ -209,6 +223,9 @@ func (m *Monitor) add(a *automata.Automaton) error {
 	if _, dup := m.siteIdx[a.Name]; dup {
 		return fmt.Errorf("monitor: duplicate automaton name %q", a.Name)
 	}
+	// Link-time engine lowering: reuses an engine the build graph attached,
+	// else lowers here, once, so no event pays for plan construction.
+	m.plans = append(m.plans, a.Engine().Plans)
 	// Both contexts resolve failure actions against the same option
 	// defaults and FailFast switch, so the global store answers for all.
 	m.failStop = append(m.failStop, m.global.FailStopFor(a.Class))
@@ -678,6 +695,21 @@ func (th *Thread) BoundEnd(slot int) error {
 	return first
 }
 
+// sendOp routes one matched (automaton, symbol, key) op to store through the
+// automaton's compiled engine plan: staged with the plan attached in batched
+// mode (the batch run applies it through the engine body), else driven
+// synchronously via UpdateStatePlan. Stores built with Options.NoEngine fall
+// back to the interpreted walk inside core, so dispatch is uniform here on
+// both planes.
+func (th *Thread) sendOp(store *core.Store, idx int, sym *automata.Symbol, key core.Key) error {
+	auto := th.m.autos[idx]
+	p := th.m.plans[idx][sym.ID]
+	if th.batch != nil {
+		return th.stageOp(store, core.BatchOp{Cls: auto.Class, Symbol: sym.Name, Flags: sym.Flags, Key: key, TS: auto.Trans[sym.ID], Plan: p}, th.opDrains(idx, sym.Flags, auto.Trans[sym.ID]))
+	}
+	return store.UpdateStatePlan(p, key)
+}
+
 // deliver routes a matched event to the automaton's store, materialising a
 // lazy «init» first if needed.
 func (th *Thread) deliver(ref symRef, key core.Key) error {
@@ -698,24 +730,16 @@ func (th *Thread) deliver(ref symRef, key core.Key) error {
 			mu.Unlock()
 		}
 		if needInit {
-			begin := auto.BoundBegin()
-			if th.batch != nil {
-				// The lazy decision is made at stage time (above, under
-				// the same bookkeeping lock as synchronous mode); the
-				// materialising «init» op stages in order before the
-				// event op that triggered it.
-				if err := th.stageOp(store, core.BatchOp{Cls: auto.Class, Symbol: begin.Name, Flags: begin.Flags, Key: core.AnyKey, TS: auto.Trans[begin.ID]}, th.opDrains(ref.idx, begin.Flags, auto.Trans[begin.ID])); err != nil {
-					return err
-				}
-			} else if err := store.UpdateState(auto.Class, begin.Name, begin.Flags, core.AnyKey, auto.Trans[begin.ID]); err != nil {
+			// The lazy decision is made at stage time (under the same
+			// bookkeeping lock as synchronous mode); in batched mode the
+			// materialising «init» op stages in order before the event op
+			// that triggered it.
+			if err := th.sendOp(store, ref.idx, auto.BoundBegin(), core.AnyKey); err != nil {
 				return err
 			}
 		}
 	}
-	if th.batch != nil {
-		return th.stageOp(store, core.BatchOp{Cls: auto.Class, Symbol: ref.sym.Name, Flags: ref.sym.Flags, Key: key, TS: auto.Trans[ref.sym.ID]}, th.opDrains(ref.idx, ref.sym.Flags, auto.Trans[ref.sym.ID]))
-	}
-	return store.UpdateState(auto.Class, ref.sym.Name, ref.sym.Flags, key, auto.Trans[ref.sym.ID])
+	return th.sendOp(store, ref.idx, ref.sym, key)
 }
 
 // boundBegin handles entry into a bound function. In naive mode every
@@ -729,13 +753,7 @@ func (th *Thread) boundBegin(slot int) error {
 			if th.m.autoBound[idx] != slot {
 				continue
 			}
-			begin := a.BoundBegin()
-			store := th.storeFor(idx)
-			if th.batch != nil {
-				if err := th.stageOp(store, core.BatchOp{Cls: a.Class, Symbol: begin.Name, Flags: begin.Flags, Key: core.AnyKey, TS: a.Trans[begin.ID]}, th.opDrains(idx, begin.Flags, a.Trans[begin.ID])); err != nil && first == nil {
-					first = err
-				}
-			} else if err := store.UpdateState(a.Class, begin.Name, begin.Flags, core.AnyKey, a.Trans[begin.ID]); err != nil && first == nil {
+			if err := th.sendOp(th.storeFor(idx), idx, a.BoundBegin(), core.AnyKey); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -759,15 +777,7 @@ func (th *Thread) boundEnd(slot int) error {
 	var first error
 	cleanup := func(idx int) {
 		a := th.m.autos[idx]
-		end := a.BoundEnd()
-		store := th.storeFor(idx)
-		if th.batch != nil {
-			if err := th.stageOp(store, core.BatchOp{Cls: a.Class, Symbol: end.Name, Flags: end.Flags, Key: core.AnyKey, TS: a.Trans[end.ID]}, th.opDrains(idx, end.Flags, a.Trans[end.ID])); err != nil && first == nil {
-				first = err
-			}
-			return
-		}
-		if err := store.UpdateState(a.Class, end.Name, end.Flags, core.AnyKey, a.Trans[end.ID]); err != nil && first == nil {
+		if err := th.sendOp(th.storeFor(idx), idx, a.BoundEnd(), core.AnyKey); err != nil && first == nil {
 			first = err
 		}
 	}
