@@ -5,9 +5,9 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (native Go fuzzing syntax).
 FUZZTIME ?= 30s
 
-.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg ingest-gate bench-ingest compile-gate bench-compile
+.PHONY: ci fmt vet build test race check bench fuzz-smoke bench-compare cache-gate bench-rebuild chaos-gate bench-faults liveness-gate agg-gate bench-agg ingest-gate bench-ingest compile-gate bench-compile crash-gate
 
-ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate ingest-gate compile-gate fuzz-smoke bench-compare
+ci: fmt vet build test race check liveness-gate cache-gate chaos-gate agg-gate ingest-gate compile-gate crash-gate fuzz-smoke bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -148,14 +148,29 @@ compile-gate:
 bench-compile:
 	$(GO) run ./cmd/tesla-bench -fig compile
 
+# Crash-consistency gate: the WAL spool's torn-tail recovery unit suite,
+# the in-process randomized crash schedules (producer/server kills and
+# restarts, snapshot restore, seq dedup — exact-accounting invariants
+# asserted after every schedule), and the process-level gate that
+# SIGKILLs real tesla-run / tesla-agg binaries at randomized points:
+# every recovered -trace-spool must be a verbatim prefix of an uncrashed
+# run, and fleet counts must come out exactly once across producer
+# crash, two resends and a server kill/restart in between.
+crash-gate: build
+	$(GO) test -count=1 ./internal/trace -run 'TestSpool|TestWAL'
+	$(GO) test -count=1 ./internal/agg -run 'TestCrashSchedules|TestSnapshot|TestDurableAcks|TestResendDeduplicated'
+	$(GO) test -count=1 ./cmd/tesla-agg -run 'TestCrashGate'
+
 # Short fuzz pass over the binary/JSON trace codec, the streaming frame
-# reader, the csub front end, the batched event plane's flush protocol and
-# the compiled-vs-interpreted step differential
+# reader, the WAL spool's segment repair, the csub front end, the batched
+# event plane's flush protocol and the compiled-vs-interpreted step
+# differential
 # ($(FUZZTIME) per target); saved crashers land in testdata/fuzz and fail
 # `make test` from then on.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzFrameStream$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzSpoolRecover$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/csub -run '^$$' -fuzz '^FuzzCsubParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/monitor -run '^$$' -fuzz '^FuzzBatchFlush$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzCompiledStep$$' -fuzztime $(FUZZTIME)

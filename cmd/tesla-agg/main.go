@@ -7,11 +7,22 @@
 // Usage:
 //
 //	tesla-agg serve [-listen addr] [-queue N] [-samples K] [-window N] [-stripes N]
+//	                [-snapshot path] [-snapshot-interval dur] [-idle-timeout dur]
 //	tesla-agg query [-addr addr] [-class name] [-k N] (fleet|failures|topk|samples|health)
+//	tesla-agg resend [-addr addr] -process name [-rm] spooldir
 //
 // Addresses are TCP host:port by default; "unix:/path" (or any spelling
 // containing a path separator) selects a unix socket. Query output is
 // indented JSON with a stable field order, so scripts can diff it.
+//
+// Crash consistency: with -snapshot, serve persists the store atomically
+// on an interval and restores it at startup, so a crashed or restarted
+// server resumes with its counts intact; producers only treat frames as
+// delivered once a snapshot covers them, and resends of anything newer
+// deduplicate by sequence number — fleet counts survive crashes on
+// either side without double-counting. `tesla-agg resend` replays a
+// crashed producer's write-ahead spool (tesla-run -agg-spool) and closes
+// its accounting exactly once.
 //
 // Degradation is never silent: every bounded queue that overflows counts
 // its drops per producer, and the fleet query reports them next to the
@@ -41,6 +52,8 @@ func main() {
 		cmdServe(args)
 	case "query":
 		cmdQuery(args)
+	case "resend":
+		cmdResend(args)
 	default:
 		usage()
 	}
@@ -49,7 +62,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tesla-agg serve [-listen addr] [-queue N] [-samples K] [-window N] [-stripes N]
-  tesla-agg query [-addr addr] [-class name] [-k N] (fleet|failures|topk|samples|health)`)
+                  [-snapshot path] [-snapshot-interval dur] [-idle-timeout dur]
+  tesla-agg query [-addr addr] [-class name] [-k N] (fleet|failures|topk|samples|health)
+  tesla-agg resend [-addr addr] -process name [-rm] spooldir`)
 	os.Exit(2)
 }
 
@@ -61,6 +76,9 @@ func cmdServe(args []string) {
 	window := fs.Int("window", 0, "events of leading context kept per failure sample (0 = default)")
 	stripes := fs.Int("stripes", 0, "aggregation lock stripes (0 = default)")
 	quiet := fs.Bool("quiet", false, "suppress connection diagnostics")
+	snapPath := fs.String("snapshot", "", "persist the store to this file and restore it at startup")
+	snapEvery := fs.Duration("snapshot-interval", 0, "snapshot interval for -snapshot (0 = default)")
+	idle := fs.Duration("idle-timeout", 0, "disconnect producers silent this long (0 = default, negative disables)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		usage()
@@ -77,26 +95,82 @@ func cmdServe(args []string) {
 		logf = nil
 	}
 	store := agg.NewStore(agg.StoreOpts{Stripes: *stripes, SampleCap: *samples, Window: *window})
-	srv := agg.NewServer(store, agg.ServerOpts{Queue: *queue, Logf: logf})
+	if *snapPath != "" {
+		snap, err := agg.LoadSnapshot(*snapPath)
+		if err != nil {
+			fatal(err)
+		}
+		if snap != nil {
+			store.Restore(snap)
+			fmt.Fprintf(os.Stderr, "tesla-agg: restored %d event(s) across %d producer(s) from %s\n",
+				snap.TotalEvents, len(snap.Producers), *snapPath)
+		}
+	}
+	srv := agg.NewServer(store, agg.ServerOpts{Queue: *queue, IdleTimeout: *idle, Logf: logf})
+	if *snapPath != "" {
+		srv.SnapshotEvery(*snapPath, *snapEvery)
+	}
 
 	// SIGINT/SIGTERM shut the server down in order: stop accepting, close
 	// live connections, drain their queues — so counts visible at exit are
-	// final, not racing ingestion.
+	// final, not racing ingestion — then take one last snapshot of the
+	// drained state.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "tesla-agg: shutting down")
 		srv.Close()
+		close(drained)
 	}()
 
 	fmt.Fprintf(os.Stderr, "tesla-agg: listening on %s\n", ln.Addr())
 	if err := srv.Serve(ln); err != nil {
 		fatal(err)
 	}
+	// Serve returns as soon as the listener closes; wait for Close to
+	// finish draining every connection's queue, then persist the final
+	// drained state — the snapshot a restart will resume from.
+	<-drained
+	if *snapPath != "" {
+		if err := srv.SnapshotNow(*snapPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tesla-agg: final snapshot: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "tesla-agg: final snapshot written to %s\n", *snapPath)
+		}
+	}
 	// Final fleet summary on shutdown, for the operator's terminal.
 	sum, _ := json.MarshalIndent(store.Fleet(), "", "  ")
 	fmt.Println(string(sum))
+}
+
+// cmdResend replays a crashed producer's write-ahead spool into the
+// server and closes its fleet accounting. Safe to re-run: the server
+// skips or deduplicates everything already delivered.
+func cmdResend(args []string) {
+	fs := flag.NewFlagSet("resend", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9590", "tesla-agg server address")
+	process := fs.String("process", "", "producer identity the spool belongs to (its -agg-process)")
+	rm := fs.Bool("rm", false, "remove the spool directory after a successful resend")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *process == "" {
+		usage()
+	}
+	dir := fs.Arg(0)
+	st, err := agg.ResumeSpool(*addr, *process, dir, agg.ResumeOpts{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tesla-agg: resend complete: %d frame(s) / %d event(s) in spool, %d resent, %d already delivered\n",
+		st.Frames, st.Events, st.Resent, st.Skipped)
+	if *rm {
+		if err := os.RemoveAll(dir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tesla-agg: removed %s\n", dir)
+	}
 }
 
 func cmdQuery(args []string) {

@@ -1,0 +1,48 @@
+/*
+ * A long-running, always-passing worker for the crash gate. Each
+ * iteration runs one step() activation: the automaton instance is born
+ * at call(step), satisfied by the check-then-use sequence, and dies at
+ * returnfrom(step), so the instance table stays tiny no matter how long
+ * the loop runs. The only interesting thing about this program is how
+ * it dies: the kill harness SIGKILLs it at random points and asserts
+ * that whatever reached the trace spool is a verbatim prefix of an
+ * uninterrupted run's trace.
+ */
+
+int security_check(int x) {
+	return 0;
+}
+
+int do_work(int x) {
+	TESLA_WITHIN(step, previously(security_check(x)));
+	return x;
+}
+
+/*
+ * spin burns interpreter cycles without emitting trace events (plain
+ * arithmetic is not instrumented), so the run lasts long enough to be
+ * killed mid-flight while the event total stays under the default
+ * per-thread ring — no overwrites, so the spool prefix is exact.
+ */
+int spin(int n) {
+	while (n > 0) {
+		n = n - 1;
+	}
+	return 0;
+}
+
+int step(int x) {
+	security_check(x);
+	do_work(x);
+	spin(5000);
+	return 0;
+}
+
+int main(int n) {
+	int i = 0;
+	while (i < n) {
+		step(i);
+		i = i + 1;
+	}
+	return 0;
+}

@@ -14,10 +14,22 @@
 // program, and the final health counters ride along at exit. -agg implies
 // recording (an in-memory recorder is created when -trace is absent).
 //
+// Crash durability: -trace-spool writes the trace incrementally to a
+// segmented write-ahead spool, flushed every -spool-flush, so a SIGKILL
+// loses at most one flush interval of events (plus any backlog an
+// in-flight flush had not yet appended) — tesla-trace reads the
+// spool directory like a trace file. -agg-spool write-ahead-logs the
+// fleet stream the same way; after a crash, `tesla-agg resend` replays
+// the spool and closes the run's fleet accounting exactly once (it
+// requires a stable -agg-process identity). Both flags refuse a
+// non-empty directory: a leftover spool is an earlier run's evidence.
+//
 // Usage:
 //
 //	tesla-run [-plain] [-failstop] [-debug] [-trace out.tr] [-entry main]
+//	          [-trace-spool dir] [-spool-flush dur] [-spool-sync policy]
 //	          [-agg addr] [-agg-flush dur] [-agg-process name]
+//	          [-agg-spool dir]
 //	          [-j N] [-cache dir] [-explain] [-health] [-failure mode]
 //	          [-overflow policy] [-quarantine-after K] [-rearm N]
 //	          [-shards N] [-batch N] [-noengine] [-arg N]... file.c...
@@ -65,9 +77,13 @@ func main() {
 	debug := flag.Bool("debug", false, "trace automaton events (TESLA_DEBUG-style output)")
 	tracePath := flag.String("trace", "", "record an event trace to this file (.json for JSON, else binary)")
 	traceCap := flag.Int("trace-buf", 0, "per-thread trace ring capacity in events (0 = default)")
+	traceSpool := flag.String("trace-spool", "", "record the trace crash-durably into this write-ahead spool directory")
+	spoolFlush := flag.Duration("spool-flush", 25*time.Millisecond, "flush interval for -trace-spool (bounds what a SIGKILL can lose)")
+	spoolSync := flag.String("spool-sync", "always", "spool fsync policy: always, interval or none")
 	aggAddr := flag.String("agg", "", "stream lifecycle events to a tesla-agg server at this address")
 	aggFlush := flag.Duration("agg-flush", 100*time.Millisecond, "delta flush interval for -agg")
 	aggProcess := flag.String("agg-process", "", "process name reported to -agg (default host:pid)")
+	aggSpool := flag.String("agg-spool", "", "write-ahead spool directory for -agg (crash-durable exactly-once delivery)")
 	entry := flag.String("entry", "main", "entry function")
 	shards := flag.Int("shards", 0, "global-store lock stripes (0 = GOMAXPROCS, 1 = single-mutex reference store)")
 	batch := flag.Int("batch", 0, "per-thread event ring size for batched dispatch (0 = synchronous reference path)")
@@ -114,7 +130,7 @@ func main() {
 		RearmEvents:     *rearm,
 	}
 	var rec *trace.Recorder
-	if *tracePath != "" || *aggAddr != "" {
+	if *tracePath != "" || *aggAddr != "" || *traceSpool != "" {
 		rec = trace.NewRecorder(build.Autos, *traceCap)
 		handler = append(handler, rec)
 		monOpts.Tap = rec
@@ -126,17 +142,45 @@ func main() {
 	}
 	rt.VM.Out = os.Stdout
 
+	syncPolicy, err := trace.ParseSpoolSync(*spoolSync)
+	if err != nil {
+		tool.FatalCode(2, err)
+	}
+
+	// Crash-durable trace recording: deltas are cut from the rings every
+	// -spool-flush and appended to the write-ahead spool, so the trace on
+	// disk is always a valid prefix of the run — a SIGKILL loses at most
+	// one interval plus an in-flight flush's backlog.
+	var spoolW *trace.SpoolWriter
+	if *traceSpool != "" {
+		sp := openEmptySpool(tool, *traceSpool, syncPolicy,
+			"replay or archive it with tesla-trace, then point -trace-spool at a fresh directory")
+		spoolW = trace.NewSpoolWriter(rec, sp)
+		spoolW.Start(*spoolFlush)
+	}
+
 	// Live fleet streaming: dial before the run so a version rejection or
 	// unreachable server is a usage error (2), not a mid-run surprise.
 	var pub *agg.Publisher
 	var aggClient *agg.Client
+	if *aggSpool != "" && *aggAddr == "" {
+		tool.FatalCode(2, fmt.Errorf("-agg-spool requires -agg"))
+	}
 	if *aggAddr != "" {
 		process := *aggProcess
 		if process == "" {
 			host, _ := os.Hostname()
 			process = fmt.Sprintf("%s:%d", host, os.Getpid())
 		}
-		aggClient, err = agg.Dial(*aggAddr, agg.ClientOpts{Tool: "tesla-run", Process: process})
+		clientOpts := agg.ClientOpts{Tool: "tesla-run", Process: process}
+		if *aggSpool != "" {
+			if *aggProcess == "" {
+				tool.FatalCode(2, fmt.Errorf("-agg-spool requires an explicit -agg-process: the default host:pid identity changes on restart, and server-side exactly-once dedup is keyed by it"))
+			}
+			clientOpts.Spool = openEmptySpool(tool, *aggSpool, syncPolicy,
+				"deliver it with `tesla-agg resend` first")
+		}
+		aggClient, err = agg.Dial(*aggAddr, clientOpts)
 		if err != nil {
 			tool.FatalCode(2, err)
 		}
@@ -160,7 +204,9 @@ func main() {
 	if rec != nil && *tracePath != "" {
 		saveTrace(tool, rec, *tracePath)
 	}
+	spoolDegraded := finishSpool(spoolW, *traceSpool)
 	aggDegraded := finishAgg(pub, aggClient, rt.Monitor)
+	aggDegraded = aggDegraded || spoolDegraded
 	if *health {
 		printHealth(rt.Monitor)
 	}
@@ -189,6 +235,41 @@ func main() {
 	if !*plain {
 		fmt.Printf("all %d assertions held\n", len(build.Autos))
 	}
+}
+
+// openEmptySpool opens (or creates) a write-ahead spool directory and
+// refuses one that already holds frames: a leftover spool is a crashed
+// run's evidence, and appending a second run to it would interleave two
+// traces into one stream.
+func openEmptySpool(tool *cli.Tool, dir string, sync trace.SpoolSync, remedy string) *trace.Spool {
+	sp, err := trace.OpenSpool(dir, trace.SpoolOpts{Sync: sync})
+	if err != nil {
+		tool.FatalCode(2, err)
+	}
+	if sp.FrameCount() > 0 {
+		sp.Close()
+		tool.FatalCode(2, fmt.Errorf("spool %s is not empty — it holds an earlier run; %s", dir, remedy))
+	}
+	return sp
+}
+
+// finishSpool takes the final cut into the trace spool and reports
+// whether any of the run's events failed to reach it (reduced
+// durability: the events were still monitored, but a replay of the spool
+// would be incomplete — surfaced as degradation so scripts can tell).
+func finishSpool(w *trace.SpoolWriter, dir string) bool {
+	if w == nil {
+		return false
+	}
+	if err := w.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "tesla-run: trace spool: final flush: %v\n", err)
+	}
+	if frames, events := w.Lost(); frames > 0 {
+		fmt.Fprintf(os.Stderr, "tesla-run: trace spool: lost %d frame(s) / %d event(s) to write failures\n", frames, events)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "tesla-run: trace spool complete in %s\n", dir)
+	return false
 }
 
 // finishAgg flushes the final delta, ships the health counters and

@@ -64,7 +64,11 @@ func usage() {
   tesla-trace replay [-overflow policy] trace.tr file.c...
   tesla-trace shrink [-o min.tr] [-json] [-overflow policy] trace.tr file.c...
   tesla-trace report [-dot] [-class name] trace.tr file.c...
-  tesla-trace convert [-json] [-o out.tr] trace.tr`)
+  tesla-trace convert [-json] [-o out.tr] trace.tr
+
+trace.tr may also be a -trace-spool directory from tesla-run: the spool
+is recovered (a torn tail from a crash is truncated to the last complete
+frame) and its delta cuts are merged into one trace.`)
 	os.Exit(2)
 }
 
@@ -73,6 +77,16 @@ func cmdShow(args []string) {
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
+	}
+	// A directory is a write-ahead trace spool (tesla-run -trace-spool):
+	// recover it — torn tail and all — and show the merged trace.
+	if fi, err := os.Stat(fs.Arg(0)); err == nil && fi.IsDir() {
+		tr := loadTrace(fs.Arg(0))
+		showHeader(tr.FormatVersion, len(tr.Events), tr.Automata, tr.Dropped)
+		for i := range tr.Events {
+			fmt.Println(tr.Events[i].String())
+		}
+		return
 	}
 	// Binary traces stream event by event (trace.StreamDecoder), so show
 	// handles traces far larger than memory; JSON traces fall back to a
@@ -216,7 +230,17 @@ func cmdConvert(args []string) {
 	writeTrace(loadTrace(fs.Arg(0)), *out, *asJSON)
 }
 
+// loadTrace reads a trace in any of its at-rest forms: binary file, JSON
+// file, or a write-ahead spool directory left by tesla-run -trace-spool
+// (recovered to the longest valid prefix, deltas merged in order).
 func loadTrace(path string) *trace.Trace {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		tr, err := trace.ReadSpool(path)
+		if err != nil {
+			fatalCode(2, err)
+		}
+		return tr
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		fatalCode(2, err)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,11 +22,45 @@ import (
 // overflows or retries exhaust, frames are dropped and counted — the
 // monitored process degrades explicitly (exit 3 via Degraded), it never
 // stalls and never lies.
+//
+// Proto v2 makes delivery exactly-once. Every trace frame carries a
+// monotonic sequence number; sent frames are retained until the server
+// acks them and are resent after a reconnect (the server deduplicates by
+// sequence, so the resend of a frame whose write "failed" after actually
+// reaching the wire — the classic double-count — is ingested once). The
+// bye is only written after the unacked set has been resent on the same
+// connection, so a bye's arrival implies every counted-sent frame
+// arrived: ingested + dropped == sent holds exactly for clean producers,
+// across arbitrary crash/reconnect interleavings.
+//
+// With ClientOpts.Spool set, every trace frame is write-ahead-logged to
+// disk before it is queued, and frames the bounded buffer cannot hold
+// overflow to the spool instead of being dropped (the writer reads them
+// back in order once the queue drains). A producer crash then loses
+// nothing durable: `tesla-agg resend` replays the spool and closes the
+// accounting the crash left open.
 type Client struct {
 	opts ClientOpts
+	addr string
 
-	frames chan wireFrame
-	done   chan struct{}
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds unsent frames, in order. unacked holds sequenced
+	// frames that were written to some connection but not yet covered by
+	// an ack watermark; a reconnect resends them before anything newer.
+	queue   []wireFrame
+	unacked []wireFrame
+	nextSeq uint64 // last sequence assigned
+	acked   uint64 // highest server-acked sequence
+	// loadedSeq is the highest sequence handed toward the wire (queued
+	// in memory or reloaded from the spool); spoolBehind marks that
+	// frames beyond it live only in the spool and the writer must read
+	// them back before sending anything newer.
+	loadedSeq   uint64
+	spoolBehind bool
+	closed      bool
+
+	done chan struct{}
 
 	sentFrames    atomic.Uint64
 	sentEvents    atomic.Uint64
@@ -33,22 +68,36 @@ type Client struct {
 	droppedEvents atomic.Uint64
 	ringDropped   atomic.Uint64
 	reconnects    atomic.Uint64
+	spoolFaults   atomic.Uint64
 	byeSent       atomic.Bool
 }
 
 // ClientOpts configures a Client.
 type ClientOpts struct {
-	// Tool and Process identify the producer in the hello frame.
+	// Tool and Process identify the producer in the hello frame. With a
+	// spool, Process must be stable across restarts (it keys server-side
+	// dedup); tesla-run's host:pid default is not — pass an explicit one.
 	Tool    string
 	Process string
-	// Buffer bounds the frames pending while the connection is down or
-	// slow (default 256).
+	// Buffer bounds the frames pending in memory while the connection is
+	// down or slow (default 256).
 	Buffer int
 	// Retries bounds reconnection attempts per frame (default 4).
 	Retries int
 	// Backoff is the base reconnect delay, doubled per attempt
 	// (default 50ms).
 	Backoff time.Duration
+	// Spool, when set, is the client's offline write-ahead spool. It
+	// must be empty at Dial (a leftover spool belongs to a crashed run:
+	// replay it with tesla-agg resend, don't mix two runs' events). The
+	// client takes ownership and closes it on Close.
+	Spool *trace.Spool
+
+	// wrapConn is a test seam: when set, every dialed connection is
+	// wrapped before use, so tests can inject byte-level connection
+	// faults (e.g. a write that reaches the wire and then reports an
+	// error — the double-count regression).
+	wrapConn func(net.Conn) net.Conn
 }
 
 // ClientStats is a client's self-accounting; Bye ships it to the server.
@@ -59,6 +108,10 @@ type ClientStats struct {
 	DroppedEvents uint64
 	RingDropped   uint64
 	Reconnects    uint64
+	// SpoolFaults counts frames whose write-ahead append failed; they
+	// were still sent from memory, but a crash before delivery would
+	// lose them (reduced durability, not reduced delivery).
+	SpoolFaults uint64
 }
 
 // Degraded reports whether the client lost anything: a producer whose
@@ -69,11 +122,13 @@ type wireFrame struct {
 	kind    byte
 	payload []byte
 	events  uint64
+	seq     uint64 // 0 for unsequenced (health) frames
 }
 
 // Dial connects to a tesla-agg server and completes the handshake
 // synchronously, so version rejections surface immediately as errors
-// naming both sides. The returned client owns the connection.
+// naming both sides. The returned client owns the connection (and the
+// spool, when one is configured).
 func Dial(addr string, opts ClientOpts) (*Client, error) {
 	if opts.Buffer <= 0 {
 		opts.Buffer = 256
@@ -84,60 +139,67 @@ func Dial(addr string, opts ClientOpts) (*Client, error) {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 50 * time.Millisecond
 	}
-	c := &Client{
-		opts:   opts,
-		frames: make(chan wireFrame, opts.Buffer),
-		done:   make(chan struct{}),
+	if opts.Spool != nil && opts.Spool.FrameCount() > 0 {
+		return nil, fmt.Errorf("agg: spool %s is not empty — it belongs to an earlier run; deliver it with `tesla-agg resend` before reusing the directory", opts.Spool.Dir())
 	}
-	conn, err := c.handshake(addr)
+	c := &Client{opts: opts, addr: addr, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	conn, ack, err := dialHandshake(addr, Hello{
+		Proto: ProtoVersion, Codec: trace.Version,
+		Tool: opts.Tool, Process: opts.Process,
+	}, opts.wrapConn)
 	if err != nil {
 		return nil, err
 	}
-	go c.writer(addr, conn)
+	c.noteAck(ack.Ack)
+	go c.writer(conn)
 	return c, nil
 }
 
-// handshake dials addr, sends the magic and hello, and waits for the ack.
-func (c *Client) handshake(addr string) (net.Conn, error) {
+// dialHandshake dials addr, sends the magic and hello, and waits for the
+// ack. Shared by the client, the query CLI path and ResumeSpool.
+func dialHandshake(addr string, hello Hello, wrap func(net.Conn) net.Conn) (net.Conn, HelloAck, error) {
 	network, address := SplitAddr(addr)
 	conn, err := net.Dial(network, address)
 	if err != nil {
-		return nil, err
+		return nil, HelloAck{}, err
 	}
-	hello, _ := json.Marshal(Hello{
-		Proto: ProtoVersion, Codec: trace.Version,
-		Tool: c.opts.Tool, Process: c.opts.Process,
-	})
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	helloJSON, _ := json.Marshal(hello)
 	fw := trace.NewFrameWriter(conn)
 	if _, err := conn.Write([]byte(Magic)); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, HelloAck{}, err
 	}
-	if err := fw.Frame(FrameHello, hello); err != nil {
+	if err := fw.Frame(FrameHello, helloJSON); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, HelloAck{}, err
 	}
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	kind, payload, err := trace.NewFrameReader(conn).Next()
 	if err != nil || kind != FrameHelloAck {
 		conn.Close()
-		return nil, fmt.Errorf("agg: no hello ack from %s: %v", addr, err)
+		return nil, HelloAck{}, fmt.Errorf("agg: no hello ack from %s: %v", addr, err)
 	}
 	var ack HelloAck
 	if err := json.Unmarshal(payload, &ack); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("agg: bad hello ack from %s: %w", addr, err)
+		return nil, HelloAck{}, fmt.Errorf("agg: bad hello ack from %s: %w", addr, err)
 	}
 	if !ack.OK {
 		conn.Close()
-		return nil, fmt.Errorf("agg: %s rejected the connection: %s", addr, ack.Message)
+		return nil, HelloAck{}, fmt.Errorf("agg: %s rejected the connection: %s", addr, ack.Message)
 	}
 	conn.SetReadDeadline(time.Time{})
-	return conn, nil
+	return conn, ack, nil
 }
 
-// SendTrace encodes tr as one trace frame and enqueues it. It never
-// blocks: a full buffer drops the frame, counted.
+// SendTrace encodes tr as one sequenced trace frame, write-ahead-logs it
+// when a spool is configured, and enqueues it. It never blocks: a full
+// buffer overflows to the spool (when present) or drops the frame,
+// counted.
 func (c *Client) SendTrace(tr *trace.Trace) error {
 	var body bytes.Buffer
 	var prefix [binary.MaxVarintLen64]byte
@@ -146,28 +208,63 @@ func (c *Client) SendTrace(tr *trace.Trace) error {
 	if err := trace.Write(&body, tr); err != nil {
 		return err
 	}
+	events := uint64(len(tr.Events))
 	c.ringDropped.Add(tr.Dropped)
-	c.enqueue(wireFrame{kind: FrameTrace, payload: body.Bytes(), events: uint64(len(tr.Events))})
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.droppedFrames.Add(1)
+		c.droppedEvents.Add(events)
+		return nil
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	payload := EncodeSeqTrace(seq, body.Bytes())
+	spooled := false
+	if c.opts.Spool != nil {
+		if err := c.opts.Spool.Append(payload); err != nil {
+			c.spoolFaults.Add(1)
+		} else {
+			spooled = true
+		}
+	}
+	switch {
+	case !c.spoolBehind && len(c.queue) < c.opts.Buffer:
+		c.queue = append(c.queue, wireFrame{kind: FrameSeqTrace, payload: payload, events: events, seq: seq})
+		c.loadedSeq = seq
+		c.cond.Signal()
+	case spooled:
+		// Overflow to disk: the writer reads it back, in order, once the
+		// memory queue drains. Memory stays bounded; nothing is lost.
+		c.spoolBehind = true
+		c.cond.Signal()
+	default:
+		c.droppedFrames.Add(1)
+		c.droppedEvents.Add(events)
+	}
+	c.mu.Unlock()
 	return nil
 }
 
-// SendHealth enqueues the producer's merged health counters.
+// SendHealth enqueues the producer's merged health counters. Health is
+// cumulative latest-wins state, so it is not sequenced or spooled; a
+// dropped health frame is counted and superseded by the next one.
 func (c *Client) SendHealth(hs []core.ClassHealth) error {
 	payload, err := json.Marshal(HealthRows(hs))
 	if err != nil {
 		return err
 	}
-	c.enqueue(wireFrame{kind: FrameHealth, payload: payload})
-	return nil
-}
-
-func (c *Client) enqueue(f wireFrame) {
-	select {
-	case c.frames <- f:
-	default:
+	c.mu.Lock()
+	if c.closed || len(c.queue) >= c.opts.Buffer {
+		c.mu.Unlock()
 		c.droppedFrames.Add(1)
-		c.droppedEvents.Add(f.events)
+		return nil
 	}
+	c.queue = append(c.queue, wireFrame{kind: FrameHealth, payload: payload})
+	c.cond.Signal()
+	c.mu.Unlock()
+	return nil
 }
 
 // Stats returns the client's accounting so far.
@@ -179,74 +276,269 @@ func (c *Client) Stats() ClientStats {
 		DroppedEvents: c.droppedEvents.Load(),
 		RingDropped:   c.ringDropped.Load(),
 		Reconnects:    c.reconnects.Load(),
+		SpoolFaults:   c.spoolFaults.Load(),
 	}
 }
 
-// Close drains the buffer, sends the bye accounting and closes the
-// connection. It returns an error when the bye could not be delivered —
-// the server will see the close as a mid-stream disconnect.
+// Close drains the buffer (and any spool overflow), resends whatever the
+// server has not acked, sends the bye accounting, closes the connection
+// and the spool. It returns an error when the bye could not be delivered
+// — the server will see the close as a mid-stream disconnect, and a
+// configured spool then still holds every sent frame for `tesla-agg
+// resend` to close the accounting later.
+//
+// Close is idempotent and safe to call concurrently: every caller waits
+// for the writer to finish and observes the same result.
 func (c *Client) Close() error {
-	close(c.frames)
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
 	<-c.done
+	if c.opts.Spool != nil {
+		c.opts.Spool.Close()
+	}
 	if !c.byeSent.Load() {
 		return fmt.Errorf("agg: connection lost before final accounting was delivered")
 	}
 	return nil
 }
 
-// writer owns the connection: it drains the frame buffer, reconnecting
-// with exponential backoff on failures, and finishes with the bye frame.
-func (c *Client) writer(addr string, conn net.Conn) {
-	defer close(c.done)
-	defer func() {
-		if conn != nil {
-			conn.Close()
+// noteAck advances the acked watermark and prunes the unacked set.
+func (c *Client) noteAck(seq uint64) {
+	if seq == 0 {
+		return
+	}
+	c.mu.Lock()
+	if seq > c.acked {
+		c.acked = seq
+		keep := c.unacked[:0]
+		for _, f := range c.unacked {
+			if f.seq > seq {
+				keep = append(keep, f)
+			}
 		}
-	}()
-	fw := trace.NewFrameWriter(conn)
+		c.unacked = keep
+	}
+	c.mu.Unlock()
+}
 
-	send := func(f wireFrame) bool {
-		for attempt := 0; ; attempt++ {
-			if conn == nil {
-				if attempt >= c.opts.Retries {
-					return false
-				}
-				time.Sleep(c.opts.Backoff << attempt)
-				fresh, err := c.handshake(addr)
-				if err != nil {
-					continue
-				}
-				conn, fw = fresh, trace.NewFrameWriter(fresh)
-				c.reconnects.Add(1)
-			}
-			if err := fw.Frame(f.kind, f.payload); err == nil {
-				return true
-			}
-			conn.Close()
-			conn = nil
+// ackReader drains server frames (acks) from one connection until it
+// dies. Every live connection must have one: beyond advancing the
+// watermark, it keeps the server's ack writes from filling the socket
+// and wedging the server worker.
+func (c *Client) ackReader(conn net.Conn) {
+	fr := trace.NewFrameReader(conn)
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			return
+		}
+		if kind != FrameAck {
+			continue
+		}
+		var a Ack
+		if err := json.Unmarshal(payload, &a); err == nil {
+			c.noteAck(a.Seq)
 		}
 	}
+}
 
-	for f := range c.frames {
-		if send(f) {
+// nextFrame blocks until a frame is ready (reloading spool overflow once
+// the memory queue drains) or the client is closed and fully drained.
+func (c *Client) nextFrame() (wireFrame, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if len(c.queue) > 0 {
+			f := c.queue[0]
+			c.queue = c.queue[1:]
+			return f, true
+		}
+		if c.spoolBehind {
+			c.reloadLocked()
+			if len(c.queue) > 0 {
+				continue
+			}
+			// Nothing in the spool beyond loadedSeq: caught up.
+			c.spoolBehind = false
+			continue
+		}
+		if c.closed {
+			return wireFrame{}, false
+		}
+		c.cond.Wait()
+	}
+}
+
+// reloadLocked refills the memory queue from the spool with frames
+// beyond loadedSeq, up to Buffer. Called with c.mu held; the spool lock
+// nests inside c.mu everywhere (Append in SendTrace, Range here).
+func (c *Client) reloadLocked() {
+	after := c.loadedSeq
+	loaded := 0
+	c.opts.Spool.Range(func(payload []byte) error {
+		if loaded >= c.opts.Buffer {
+			return errStopRange
+		}
+		seq, events, _, err := SeqTraceInfo(payload)
+		if err != nil || seq <= after {
+			return nil
+		}
+		c.queue = append(c.queue, wireFrame{
+			kind:    FrameSeqTrace,
+			payload: append([]byte(nil), payload...),
+			events:  events,
+			seq:     seq,
+		})
+		c.loadedSeq = seq
+		loaded++
+		return nil
+	})
+}
+
+var errStopRange = fmt.Errorf("agg: stop spool range")
+
+// connState is the writer's connection bundle. readerDone closes when
+// the connection's ack reader exits — which, after a bye, means the
+// server read our close-side frames and shut its end down.
+type connState struct {
+	conn       net.Conn
+	fw         *trace.FrameWriter
+	readerDone chan struct{}
+}
+
+func (st *connState) fail() {
+	if st.conn != nil {
+		st.conn.Close()
+		st.conn = nil
+	}
+}
+
+// sendFrame writes one frame, reconnecting with exponential backoff and
+// resending the unacked set first after every reconnect (the server
+// deduplicates, so resending a frame that did arrive is harmless — and
+// NOT resending a frame whose write error masked a successful delivery
+// was the double-count bug). Returns false when retries exhaust.
+func (c *Client) sendFrame(st *connState, f wireFrame) bool {
+	for attempt := 0; ; attempt++ {
+		if st.conn == nil {
+			if attempt >= c.opts.Retries {
+				return false
+			}
+			time.Sleep(c.opts.Backoff << attempt)
+			conn, ack, err := dialHandshake(c.addr, Hello{
+				Proto: ProtoVersion, Codec: trace.Version,
+				Tool: c.opts.Tool, Process: c.opts.Process,
+			}, c.opts.wrapConn)
+			if err != nil {
+				continue
+			}
+			c.reconnects.Add(1)
+			st.conn, st.fw = conn, trace.NewFrameWriter(conn)
+			c.noteAck(ack.Ack)
+			c.startAckReader(st, conn)
+			if !c.resendUnacked(st) {
+				continue
+			}
+		}
+		if err := st.fw.Frame(f.kind, f.payload); err == nil {
+			return true
+		}
+		st.fail()
+	}
+}
+
+// resendUnacked replays every sent-but-unacked frame on a fresh
+// connection, oldest first, before anything newer is written.
+func (c *Client) resendUnacked(st *connState) bool {
+	c.mu.Lock()
+	pending := make([]wireFrame, 0, len(c.unacked))
+	for _, f := range c.unacked {
+		if f.seq > c.acked {
+			pending = append(pending, f)
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range pending {
+		if err := st.fw.Frame(f.kind, f.payload); err != nil {
+			st.fail()
+			return false
+		}
+	}
+	return true
+}
+
+// retainUnacked records a successfully written sequenced frame for
+// resend-until-acked.
+func (c *Client) retainUnacked(f wireFrame) {
+	if f.seq == 0 {
+		return
+	}
+	c.mu.Lock()
+	if f.seq > c.acked {
+		c.unacked = append(c.unacked, f)
+	}
+	c.mu.Unlock()
+}
+
+// startAckReader runs an ack reader for a fresh connection and wires its
+// exit into the connState.
+func (c *Client) startAckReader(st *connState, conn net.Conn) {
+	done := make(chan struct{})
+	st.readerDone = done
+	go func() {
+		defer close(done)
+		c.ackReader(conn)
+	}()
+}
+
+// writer owns the connection: it drains the frame queue, reconnecting
+// with backoff on failures, and finishes with the bye frame.
+func (c *Client) writer(conn net.Conn) {
+	defer close(c.done)
+	st := &connState{conn: conn, fw: trace.NewFrameWriter(conn)}
+	defer st.fail()
+	c.startAckReader(st, conn)
+
+	for {
+		f, ok := c.nextFrame()
+		if !ok {
+			break
+		}
+		if c.sendFrame(st, f) {
 			c.sentFrames.Add(1)
 			c.sentEvents.Add(f.events)
+			c.retainUnacked(f)
 		} else {
 			c.droppedFrames.Add(1)
 			c.droppedEvents.Add(f.events)
 		}
 	}
-	// Final accounting. Sent/dropped are complete here: the buffer is
-	// drained and only this goroutine updates the sent side.
-	st := c.Stats()
+	// Final accounting. Sent/dropped are complete here: the queue and
+	// spool backlog are drained and only this goroutine updates the sent
+	// side. sendFrame resends the unacked set after any reconnect, so a
+	// delivered bye certifies every counted-sent frame arrived (in-order
+	// delivery), closing the invariant for clean producers.
+	stats := c.Stats()
 	payload, _ := json.Marshal(Bye{
-		SentFrames:          st.SentFrames,
-		SentEvents:          st.SentEvents,
-		ClientDroppedFrames: st.DroppedFrames,
-		ClientDroppedEvents: st.DroppedEvents,
-		RingDropped:         st.RingDropped,
+		SentFrames:          stats.SentFrames,
+		SentEvents:          stats.SentEvents,
+		ClientDroppedFrames: stats.DroppedFrames,
+		ClientDroppedEvents: stats.DroppedEvents,
+		RingDropped:         stats.RingDropped,
 	})
-	if send(wireFrame{kind: FrameBye, payload: payload}) {
+	if c.sendFrame(st, wireFrame{kind: FrameBye, payload: payload}) {
 		c.byeSent.Store(true)
+		// Linger until the server closes its end (our ack reader sees
+		// EOF): it may still be draining its apply queue, and closing
+		// now would RST away the bye — and acks in flight — before the
+		// server reads them. The server closes promptly after the bye.
+		if st.readerDone != nil {
+			select {
+			case <-st.readerDone:
+			case <-time.After(10 * time.Second):
+			}
+		}
 	}
 }

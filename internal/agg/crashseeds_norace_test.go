@@ -1,0 +1,7 @@
+//go:build !race
+
+package agg
+
+// crashSeeds is how many randomized crash schedules TestCrashSchedules
+// runs — well over the crash-gate's required kill-point count.
+const crashSeeds = 36

@@ -1,0 +1,8 @@
+//go:build race
+
+package agg
+
+// Under the race detector every schedule runs several times slower and
+// the goal shifts from kill-point coverage to catching data races, so a
+// smaller deterministic sample keeps the race gate inside its budget.
+const crashSeeds = 10

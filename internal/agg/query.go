@@ -42,6 +42,12 @@ type ProducerStat struct {
 	DroppedEvents uint64 `json:"droppedEvents"`
 	RingDropped   uint64 `json:"ringDropped"`
 	BadFrames     uint64 `json:"badFrames,omitempty"`
+	// DupFrames/DupEvents count deduplicated resends (proto v2): frames a
+	// recovering producer sent again that the server had already applied.
+	// They are evidence of exactly-once at work, not double-counting —
+	// Frames/Events exclude them.
+	DupFrames     uint64 `json:"dupFrames,omitempty"`
+	DupEvents     uint64 `json:"dupEvents,omitempty"`
 	SentFrames    uint64 `json:"sentFrames,omitempty"`
 	SentEvents    uint64 `json:"sentEvents,omitempty"`
 	ClientDropped uint64 `json:"clientDropped,omitempty"`
@@ -148,6 +154,8 @@ func (s *Store) Fleet() FleetSummary {
 			DroppedEvents: p.droppedEvents,
 			RingDropped:   p.ringDropped,
 			BadFrames:     p.badFrames,
+			DupFrames:     p.dupFrames,
+			DupEvents:     p.dupEvents,
 		}
 		if p.hasBye {
 			ps.SentFrames = p.bye.SentFrames

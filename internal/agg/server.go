@@ -36,12 +36,29 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// ackMu guards the live producer ack writers, keyed by process, so a
+	// completed snapshot can broadcast the new durable watermarks without
+	// waiting for the next frame of each producer.
+	ackMu sync.Mutex
+	acks  map[string]map[*ackWriter]struct{}
+
+	// snapshot loop state (SnapshotEvery).
+	snapStop chan struct{}
+	snapDone chan struct{}
 }
 
 // ServerOpts configures a Server; the zero value selects the defaults.
 type ServerOpts struct {
 	// Queue bounds each connection's pending trace frames (default 64).
 	Queue int
+	// IdleTimeout bounds how long an established connection may sit
+	// between frames (default 2 minutes; < 0 disables). Without it a
+	// stalled producer — or a slow-loris client that completes the
+	// handshake and then goes quiet — pins its goroutine, queue and
+	// connection forever; the handshake timeout alone only covers the
+	// time before hello.
+	IdleTimeout time.Duration
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -51,7 +68,10 @@ func NewServer(store *Store, opts ServerOpts) *Server {
 	if opts.Queue <= 0 {
 		opts.Queue = 64
 	}
-	return &Server{store: store, opts: opts, conns: map[net.Conn]struct{}{}}
+	if opts.IdleTimeout == 0 {
+		opts.IdleTimeout = 2 * time.Minute
+	}
+	return &Server{store: store, opts: opts, conns: map[net.Conn]struct{}{}, acks: map[string]map[*ackWriter]struct{}{}}
 }
 
 // Store returns the server's aggregation store.
@@ -85,8 +105,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes every live connection and waits for
-// their workers to finish.
+// Close stops accepting, closes every live connection, waits for their
+// workers to drain, and stops the snapshot loop (if one is running). The
+// drain is what makes SIGTERM graceful: every frame already queued is
+// applied and accounted before Close returns, so a final snapshot taken
+// after Close captures the complete state.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	s.mu.Lock()
@@ -104,7 +127,99 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+		s.snapStop = nil
+	}
 	return err
+}
+
+// SnapshotEvery starts a loop persisting the store to path every
+// interval, acking the fresh durable watermarks to live producers after
+// each write. It flips the store into durable-ack mode first, so no ack
+// ever runs ahead of the snapshot file. Close stops the loop; callers
+// should take one final SnapshotNow after Close to capture the drained
+// state.
+func (s *Server) SnapshotEvery(path string, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.store.SetDurable(true)
+	s.snapStop = make(chan struct{})
+	s.snapDone = make(chan struct{})
+	go func() {
+		defer close(s.snapDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := s.SnapshotNow(path); err != nil {
+					s.logf("agg: snapshot: %v", err)
+				}
+			case <-s.snapStop:
+				return
+			}
+		}
+	}()
+}
+
+// SnapshotNow persists one snapshot to path and broadcasts the new
+// durable watermarks.
+func (s *Server) SnapshotNow(path string) error {
+	durable, err := s.store.WriteSnapshot(path)
+	if err != nil {
+		return err
+	}
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	for process, seq := range durable {
+		for aw := range s.acks[process] {
+			aw.ack(seq)
+		}
+	}
+	return nil
+}
+
+// ackWriter serialises server→producer frames on one connection (the
+// hello ack, then FrameAcks from the worker and snapshot broadcaster).
+// Writes carry a deadline: a producer that stopped reading must not
+// wedge the worker — its connection dies instead, and the frames it
+// never acked will be resent and deduplicated.
+type ackWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	fw   *trace.FrameWriter
+}
+
+func (aw *ackWriter) ack(seq uint64) {
+	payload, _ := json.Marshal(Ack{Seq: seq})
+	aw.mu.Lock()
+	defer aw.mu.Unlock()
+	aw.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if aw.fw.Frame(FrameAck, payload) != nil {
+		aw.conn.Close()
+	}
+	aw.conn.SetWriteDeadline(time.Time{})
+}
+
+func (s *Server) registerAck(process string, aw *ackWriter) {
+	s.ackMu.Lock()
+	if s.acks[process] == nil {
+		s.acks[process] = map[*ackWriter]struct{}{}
+	}
+	s.acks[process][aw] = struct{}{}
+	s.ackMu.Unlock()
+}
+
+func (s *Server) unregisterAck(process string, aw *ackWriter) {
+	s.ackMu.Lock()
+	delete(s.acks[process], aw)
+	if len(s.acks[process]) == 0 {
+		delete(s.acks, process)
+	}
+	s.ackMu.Unlock()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -140,44 +255,97 @@ func (s *Server) handle(conn net.Conn) {
 		s.logf("agg: %s: bad hello: %v", conn.RemoteAddr(), err)
 		return
 	}
-	if hello.Proto != ProtoVersion || hello.Codec != trace.Version {
+	if hello.Proto < MinProtoVersion || hello.Proto > ProtoVersion || hello.Codec != trace.Version {
 		// Version negotiation: reject at the handshake with both sides'
 		// versions and the producing tool named — an old producer is
 		// never accepted and then killed mid-stream by a codec error.
+		// Protos back to MinProtoVersion are accepted: a v1 producer
+		// streams unsequenced frames and simply gets no dedup or acks.
 		msg := rejectHello(hello)
 		ack, _ := json.Marshal(HelloAck{OK: false, Message: msg, Proto: ProtoVersion, Codec: trace.Version})
 		fw.Frame(FrameHelloAck, ack)
 		s.logf("agg: %s: rejected: %s", conn.RemoteAddr(), msg)
 		return
 	}
-	ack, _ := json.Marshal(HelloAck{OK: true, Proto: ProtoVersion, Codec: trace.Version})
+	ackFrame := HelloAck{OK: true, Proto: ProtoVersion, Codec: trace.Version}
+	if !hello.Query && hello.Proto >= 2 {
+		// The resume watermark: a reconnecting producer prunes its
+		// resend set to seq > Ack before sending anything.
+		ackFrame.Ack = s.store.AckSeq(producerName(hello))
+	}
+	ack, _ := json.Marshal(ackFrame)
 	if err := fw.Frame(FrameHelloAck, ack); err != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
 	if hello.Query {
-		s.serveQueries(fr, fw)
+		s.serveQueries(conn, fr, fw)
 		return
 	}
-	s.serveProducer(hello, fr)
+	s.serveProducer(hello, conn, fr, fw)
+}
+
+func producerName(h Hello) string {
+	if h.Process == "" {
+		return "unnamed"
+	}
+	return h.Process
+}
+
+// idleDeadline arms (or clears, when disabled) the per-frame read
+// deadline on an established connection.
+func (s *Server) idleDeadline(conn net.Conn) {
+	if s.opts.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	} else {
+		conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// frameJob is one unit of worker-queue work for a producer connection: a
+// trace frame to apply, or (payload == nil) a drop marker for a frame
+// the queue rejected. Drop markers flow through the queue — blocking,
+// unlike frames — so apply and drop accounting reach the store in
+// arrival order and the applied watermark stays monotonic; a read-time
+// drop racing the worker could otherwise be snapshotted before the
+// frames that preceded it.
+type frameJob struct {
+	seq     uint64 // 0 for v1 unsequenced frames
+	events  uint64
+	payload []byte
 }
 
 // serveProducer runs the ingestion loop for one producer connection.
-func (s *Server) serveProducer(hello Hello, fr *trace.FrameReader) {
-	process := hello.Process
-	if process == "" {
-		process = "unnamed"
-	}
+func (s *Server) serveProducer(hello Hello, conn net.Conn, fr *trace.FrameReader, fw *trace.FrameWriter) {
+	process := producerName(hello)
 	s.store.Connected(Hello{Process: process, Tool: hello.Tool})
 
-	queue := make(chan []byte, s.opts.Queue)
+	aw := &ackWriter{conn: conn, fw: fw}
+	if hello.Proto >= 2 {
+		s.registerAck(process, aw)
+		defer s.unregisterAck(process, aw)
+	}
+
+	queue := make(chan frameJob, s.opts.Queue)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for payload := range queue {
-			if err := s.store.IngestFrame(process, payload); err != nil {
-				s.logf("%v", err)
+		for job := range queue {
+			switch {
+			case job.payload == nil:
+				s.store.DropSeqFrame(process, job.seq, job.events)
+			case job.seq > 0:
+				if err := s.store.ApplySeqFrame(process, job.seq, job.payload); err != nil {
+					s.logf("%v", err)
+				}
+			default:
+				if err := s.store.ApplyFrame(process, job.payload); err != nil {
+					s.logf("%v", err)
+				}
+			}
+			if job.seq > 0 && hello.Proto >= 2 {
+				aw.ack(s.store.AckSeq(process))
 			}
 		}
 	}()
@@ -186,6 +354,7 @@ func (s *Server) serveProducer(hello Hello, fr *trace.FrameReader) {
 	drained := false
 loop:
 	for {
+		s.idleDeadline(conn)
 		kind, payload, err := fr.Next()
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
@@ -195,12 +364,32 @@ loop:
 		}
 		switch kind {
 		case FrameTrace:
+			// v1: unsequenced, no dedup, drop-new accounted at read time
+			// (no watermark to keep monotonic).
 			select {
-			case queue <- payload:
+			case queue <- frameJob{payload: payload}:
 			default:
-				// Queue full: drop-new with exact accounting, from the
-				// event count the producer prefixed onto the frame.
 				s.store.DropFrame(process, FrameEventCount(payload))
+			}
+		case FrameSeqTrace:
+			seq, events, tracePayload, err := SeqTraceInfo(payload)
+			if err != nil {
+				s.logf("agg: %s: %v", process, err)
+				s.store.DropFrame(process, 0)
+				continue
+			}
+			if !s.store.BeginSeqFrame(process, seq, events) {
+				// Duplicate resend: already applied (or restored from a
+				// snapshot covering it). Re-ack so the client prunes it.
+				aw.ack(s.store.AckSeq(process))
+				continue
+			}
+			select {
+			case queue <- frameJob{seq: seq, events: events, payload: tracePayload}:
+			default:
+				// Queue full: drop-new, but the accounting travels
+				// through the queue as a marker so it lands in order.
+				queue <- frameJob{seq: seq, events: events}
 			}
 		case FrameHealth:
 			var rows []HealthRow
@@ -233,8 +422,9 @@ loop:
 }
 
 // serveQueries answers query frames until the client goes away.
-func (s *Server) serveQueries(fr *trace.FrameReader, fw *trace.FrameWriter) {
+func (s *Server) serveQueries(conn net.Conn, fr *trace.FrameReader, fw *trace.FrameWriter) {
 	for {
+		s.idleDeadline(conn)
 		kind, payload, err := fr.Next()
 		if err != nil {
 			return

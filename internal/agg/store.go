@@ -36,6 +36,17 @@ type Store struct {
 	droppedFrames atomic.Uint64
 	droppedEvents atomic.Uint64
 
+	// applyMu makes snapshots frame-atomic: every sequenced frame apply
+	// (events + counters + appliedSeq advance) holds the read side, and
+	// Snapshot takes the write side, so a snapshot never captures half a
+	// frame's effects — the invariant that lets the ack-then-resend
+	// protocol promise exactly-once accounting across a server crash.
+	applyMu sync.RWMutex
+	// durable is set once a snapshot loop owns this store: acks then
+	// advance only to the last snapshotted (durable) sequence, so a
+	// client never prunes a frame the server could still lose.
+	durable atomic.Bool
+
 	mu    sync.Mutex
 	procs map[string]*producer
 }
@@ -107,6 +118,18 @@ type producer struct {
 	droppedEvents uint64
 	ringDropped   uint64 // producer ring losses (summed from frame headers)
 	badFrames     uint64 // frames that failed to decode
+	dupFrames     uint64 // v2 resends deduplicated by sequence number
+	dupEvents     uint64
+
+	// Sequence watermarks (proto v2). receivedSeq is the highest sequence
+	// accepted for ingestion or drop accounting — anything at or below it
+	// is a duplicate resend. appliedSeq trails it by at most the worker
+	// queue; durableSeq trails appliedSeq by at most one snapshot
+	// interval. Acks advance to durableSeq when snapshots run, else to
+	// appliedSeq.
+	receivedSeq uint64
+	appliedSeq  uint64
+	durableSeq  uint64
 
 	bye    Bye
 	hasBye bool
@@ -339,3 +362,80 @@ func (s *Store) markBadFrame(process string) {
 	s.proc(process).badFrames++
 	s.mu.Unlock()
 }
+
+// BeginSeqFrame claims a v2 frame's sequence number for process: it
+// reports true and advances the received watermark when the frame is
+// fresh, and false — counting a deduplicated resend — when seq was
+// already received on this or an earlier connection (or, after a
+// restore, covered by the restored snapshot). A false return means the
+// frame must be acked but not ingested: the accounting the client closed
+// over it the first time already stands.
+func (s *Store) BeginSeqFrame(process string, seq, events uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.proc(process)
+	if seq <= p.receivedSeq {
+		p.dupFrames++
+		p.dupEvents += events
+		return false
+	}
+	p.receivedSeq = seq
+	return true
+}
+
+// ApplySeqFrame ingests one claimed v2 frame and advances the applied
+// watermark, atomically with respect to Snapshot: a snapshot sees either
+// none or all of a frame's effects, so a restore plus resend can never
+// double-apply.
+func (s *Store) ApplySeqFrame(process string, seq uint64, tracePayload []byte) error {
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	err := s.IngestFrame(process, tracePayload)
+	s.mu.Lock()
+	if p := s.proc(process); seq > p.appliedSeq {
+		p.appliedSeq = seq
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// DropSeqFrame records a server-side queue rejection of a claimed v2
+// frame. The drop advances the applied watermark like an apply would —
+// the frame's fate is decided and accounted, so it is ackable and must
+// not be resent.
+func (s *Store) DropSeqFrame(process string, seq, events uint64) {
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	s.DropFrame(process, events)
+	s.mu.Lock()
+	if p := s.proc(process); seq > p.appliedSeq {
+		p.appliedSeq = seq
+	}
+	s.mu.Unlock()
+}
+
+// ApplyFrame ingests one unsequenced (v1) frame under the same snapshot
+// atomicity as the sequenced path.
+func (s *Store) ApplyFrame(process string, payload []byte) error {
+	s.applyMu.RLock()
+	defer s.applyMu.RUnlock()
+	return s.IngestFrame(process, payload)
+}
+
+// AckSeq returns the sequence watermark safe to acknowledge to process:
+// the durable (last-snapshotted) sequence when a snapshot loop owns the
+// store, the applied sequence otherwise. Acking anything further ahead
+// would let the client discard frames a crash could still lose.
+func (s *Store) AckSeq(process string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.proc(process)
+	if s.durable.Load() {
+		return p.durableSeq
+	}
+	return p.appliedSeq
+}
+
+// SetDurable declares whether a snapshot loop persists this store,
+// switching AckSeq between the durable and applied watermarks.
+func (s *Store) SetDurable(on bool) { s.durable.Store(on) }

@@ -16,9 +16,12 @@
 package agg
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
+	"os"
 	"strings"
+	"time"
 
 	"tesla/internal/core"
 	"tesla/internal/trace"
@@ -28,11 +31,21 @@ import (
 const Magic = "TESLAAGG"
 
 // ProtoVersion is the wire-protocol version spoken by this package. The
-// hello frame carries it together with the trace-codec version; either
-// mismatching rejects the connection at the handshake — an old producer
-// is turned away with a diagnostic naming both sides, not cut off
-// mid-stream with a codec error.
-const ProtoVersion = 1
+// hello frame carries it together with the trace-codec version; a proto
+// outside [MinProtoVersion, ProtoVersion] or a codec mismatch rejects
+// the connection at the handshake — an old producer is turned away with
+// a diagnostic naming both sides, not cut off mid-stream with a codec
+// error.
+//
+// v2 added the durability plane: sequenced trace frames (FrameSeqTrace),
+// server acks (FrameAck) and the HelloAck resume watermark. v1 producers
+// are still accepted — their unsequenced frames are ingested as before,
+// without dedup, so only v2 producers get exactly-once accounting across
+// crashes.
+const ProtoVersion = 2
+
+// MinProtoVersion is the oldest protocol the server still accepts.
+const MinProtoVersion = 1
 
 // Frame kinds of the wire protocol. The framing itself (kind byte,
 // uvarint length, payload) is trace.FrameWriter/FrameReader; this is the
@@ -58,7 +71,23 @@ const (
 	FrameQuery = 6
 	// FrameResult is the server's JSON answer to a FrameQuery.
 	FrameResult = 7
+	// FrameSeqTrace (proto v2) is one sequenced delta trace: uvarint
+	// frame sequence number, then the FrameTrace payload (uvarint event
+	// count + binary codec bytes). Sequence numbers are monotonic per
+	// producer process across connections and restarts, so the server can
+	// deduplicate resent frames and acknowledge durable prefixes.
+	FrameSeqTrace = 8
+	// FrameAck (proto v2, server→producer) carries the producer's
+	// acknowledged sequence watermark as an Ack payload: every frame with
+	// seq <= Ack.Seq is applied (and, when the server snapshots, durable)
+	// and may be pruned from the client's resend set and spool.
+	FrameAck = 9
 )
+
+// Ack is the FrameAck payload.
+type Ack struct {
+	Seq uint64 `json:"seq"`
+}
 
 // Hello identifies a connecting client and the versions it speaks.
 type Hello struct {
@@ -81,6 +110,10 @@ type HelloAck struct {
 	Message string `json:"message,omitempty"`
 	Proto   int    `json:"proto"`
 	Codec   int    `json:"codec"`
+	// Ack (proto v2) is the producer's acknowledged sequence watermark at
+	// handshake time — a reconnecting or resuming producer prunes its
+	// resend set to seq > Ack before sending anything.
+	Ack uint64 `json:"ack,omitempty"`
 }
 
 // Bye is the producer's final self-accounting. SentFrames/SentEvents
@@ -147,8 +180,35 @@ type Query struct {
 // actionable, naming the producing tool and both sides' versions.
 func rejectHello(h Hello) string {
 	return fmt.Sprintf(
-		"%s (process %q) speaks proto v%d / trace codec v%d; this tesla-agg accepts proto v%d / codec v%d — upgrade whichever side is older",
-		orUnknown(h.Tool), h.Process, h.Proto, h.Codec, ProtoVersion, trace.Version)
+		"%s (process %q) speaks proto v%d / trace codec v%d; this tesla-agg accepts proto v%d-v%d / codec v%d — upgrade whichever side is older",
+		orUnknown(h.Tool), h.Process, h.Proto, h.Codec, MinProtoVersion, ProtoVersion, trace.Version)
+}
+
+// EncodeSeqTrace prefixes a FrameTrace payload (event count + binary
+// trace) with its sequence number, producing a FrameSeqTrace payload.
+// The result is also exactly what the client write-ahead-logs to its
+// offline spool: spool frame == wire frame, so resume is a replay.
+func EncodeSeqTrace(seq uint64, tracePayload []byte) []byte {
+	var prefix [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(prefix[:], seq)
+	out := make([]byte, 0, n+len(tracePayload))
+	out = append(out, prefix[:n]...)
+	return append(out, tracePayload...)
+}
+
+// SeqTraceInfo splits a FrameSeqTrace payload into its sequence number,
+// declared event count and the embedded FrameTrace payload.
+func SeqTraceInfo(payload []byte) (seq, events uint64, tracePayload []byte, err error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 || seq == 0 {
+		return 0, 0, nil, fmt.Errorf("agg: sequenced trace frame missing its sequence prefix")
+	}
+	tracePayload = payload[n:]
+	events, n = binary.Uvarint(tracePayload)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("agg: sequenced trace frame missing its event-count prefix")
+	}
+	return seq, events, tracePayload, nil
 }
 
 func orUnknown(tool string) string {
@@ -173,7 +233,25 @@ func SplitAddr(addr string) (network, address string) {
 	return "tcp", addr
 }
 
-// Listen opens the server socket for an address spelling.
+// Listen opens the server socket for an address spelling. A stale unix
+// socket file — the residue of a SIGKILLed server, which never unlinks
+// its path — is reclaimed, but only after a probe dial confirms nothing
+// is accepting on it: a crashed server must be restartable on the same
+// address without an operator rm, while a live server's socket is never
+// stolen.
 func Listen(addr string) (net.Listener, error) {
-	return net.Listen(SplitAddr(addr))
+	network, address := SplitAddr(addr)
+	ln, err := net.Listen(network, address)
+	if err == nil || network != "unix" {
+		return ln, err
+	}
+	probe, perr := net.DialTimeout(network, address, time.Second)
+	if perr == nil {
+		probe.Close() // someone is alive on it: surface the original error
+		return nil, err
+	}
+	if rmErr := os.Remove(address); rmErr != nil {
+		return nil, err
+	}
+	return net.Listen(network, address)
 }

@@ -36,6 +36,11 @@ const (
 	SiteHandlerPanic = "handler-panic"
 	// SiteTraceDrop is a trace-ring push.
 	SiteTraceDrop = "trace-drop"
+	// SiteWALWrite is a write-ahead-spool frame write (trace.SpoolOpts.
+	// WriteFault).
+	SiteWALWrite = "wal-write"
+	// SiteWALSync is a write-ahead-spool fsync (trace.SpoolOpts.SyncFault).
+	SiteWALSync = "wal-sync"
 )
 
 // stream identifies one independent decision sequence.

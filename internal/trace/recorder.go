@@ -252,6 +252,17 @@ type Cut struct {
 // event the run emitted, exactly once. This is the producer side of live
 // streaming to an aggregation service: flush deltas while the run is
 // hot, with loss explicit, never silent.
+//
+// The cut is a cross-ring barrier: every ring is locked before any is
+// read, so the watermark captures one instant. For a single-threaded run
+// (where pushes are totally ordered in time and Seq order equals push
+// order across rings) each cut is therefore an exact Seq-prefix of the
+// run — the property the WAL trace spool's crash-recovery invariant
+// ("a recovered spool is a verbatim prefix of the uncrashed run") rests
+// on. Reading one ring at a time instead would let an event land in a
+// not-yet-read ring while a causally-later event in an already-read ring
+// is missed, punching a Seq hole through the final, never-followed-up
+// cut of a killed process.
 func (r *Recorder) CutSince(prev *Cut) (*Trace, *Cut) {
 	next := &Cut{sinks: map[*threadSink]uint64{}}
 	var prevLife, prevInjected uint64
@@ -260,22 +271,28 @@ func (r *Recorder) CutSince(prev *Cut) (*Trace, *Cut) {
 		prevLife, prevInjected, prevSinks = prev.life, prev.injected, prev.sinks
 	}
 
+	// Lock order: r.mu, then every sink. Push paths take a single sink
+	// lock (never r.mu under it) and lifeEvent takes r.mu alone, so this
+	// cannot deadlock against recording.
 	r.mu.Lock()
 	sinks := append([]*threadSink(nil), r.sinks...)
+	for _, s := range sinks {
+		s.mu.Lock()
+	}
 	events, dropped := r.life.cutSince(prevLife, nil)
 	next.life = r.life.pushed
 	next.injected = r.injected
 	dropped += r.injected - prevInjected
-	r.mu.Unlock()
-
 	for _, s := range sinks {
-		s.mu.Lock()
 		var lost uint64
 		events, lost = s.ring.cutSince(prevSinks[s], events)
 		next.sinks[s] = s.ring.pushed
-		s.mu.Unlock()
 		dropped += lost
 	}
+	for _, s := range sinks {
+		s.mu.Unlock()
+	}
+	r.mu.Unlock()
 	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
 	return &Trace{
 		FormatVersion: Version,
